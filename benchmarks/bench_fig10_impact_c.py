@@ -1,0 +1,45 @@
+"""Fig. 10 — impact of the approximation ratio c on ProMIPS (k=10, p=0.5).
+
+Paper shape: the overall ratio decreases as c decreases (smaller c ⇒
+smaller searching range ⇒ fewer candidates) yet always stays above c; page
+accesses shrink along with the range.
+"""
+
+from __future__ import annotations
+
+from common import DATASET_NAMES, emit, get_report, single_query_callable
+from repro.eval.reporting import format_table
+
+C_VALUES = [0.7, 0.8, 0.9]
+K = 10
+
+
+def bench_fig10_impact_c(benchmark):
+    ratio_rows, page_rows = [], []
+    for dataset in DATASET_NAMES:
+        reports = {
+            c: get_report(dataset, "ProMIPS", K, search_kwargs={"c": c, "p": 0.5})
+            for c in C_VALUES
+        }
+        ratio_rows.append([dataset, *(reports[c].overall_ratio for c in C_VALUES)])
+        page_rows.append([dataset, *(reports[c].pages for c in C_VALUES)])
+        for c in C_VALUES:
+            assert reports[c].overall_ratio >= c, (
+                f"{dataset} c={c}: measured ratio {reports[c].overall_ratio:.4f} "
+                f"violates the guarantee band"
+            )
+        # Smaller c ⇒ no more pages than larger c (Fig. 10(b) trend).
+        assert reports[0.7].pages <= reports[0.9].pages * 1.05
+
+    table_a = format_table(
+        ["dataset", *[f"c={c}" for c in C_VALUES]], ratio_rows,
+        title="Fig. 10(a) Overall Ratio vs c (ProMIPS, k=10, p=0.5)",
+    )
+    table_b = format_table(
+        ["dataset", *[f"c={c}" for c in C_VALUES]], page_rows,
+        title="Fig. 10(b) Page Access vs c (ProMIPS, k=10, p=0.5)",
+        float_fmt="{:.0f}",
+    )
+    emit("fig10_impact_c", table_a + "\n\n" + table_b)
+
+    benchmark(single_query_callable("netflix", "ProMIPS"))

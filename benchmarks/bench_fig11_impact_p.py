@@ -1,0 +1,50 @@
+"""Fig. 11 — impact of the guarantee probability p on ProMIPS (k=10, c=0.9).
+
+Paper shape: a higher p widens the searching range, buying overall ratio
+with page accesses; "the increasing rate of accuracy is lower than the
+decreasing rate of efficiency as p increases".
+"""
+
+from __future__ import annotations
+
+from common import DATASET_NAMES, emit, get_report, single_query_callable
+from repro.eval.reporting import format_table
+
+P_VALUES = [0.3, 0.5, 0.7, 0.9]
+K = 10
+
+
+def bench_fig11_impact_p(benchmark):
+    ratio_rows, page_rows = [], []
+    for dataset in DATASET_NAMES:
+        reports = {
+            p: get_report(dataset, "ProMIPS", K, search_kwargs={"c": 0.9, "p": p})
+            for p in P_VALUES
+        }
+        ratio_rows.append([dataset, *(reports[p].overall_ratio for p in P_VALUES)])
+        page_rows.append([dataset, *(reports[p].pages for p in P_VALUES)])
+
+        # Accuracy must not degrade with p, and pages must grow with p.
+        assert reports[0.9].overall_ratio >= reports[0.3].overall_ratio - 0.01
+        assert reports[0.9].pages >= reports[0.3].pages
+        # Diminishing accuracy returns vs compounding page cost (§VIII-F).
+        ratio_gain = reports[0.9].overall_ratio - reports[0.3].overall_ratio
+        page_growth = (reports[0.9].pages - reports[0.3].pages) / max(
+            reports[0.3].pages, 1.0
+        )
+        assert ratio_gain <= page_growth + 0.05, (
+            f"{dataset}: accuracy gain should lag the page-cost growth"
+        )
+
+    table_a = format_table(
+        ["dataset", *[f"p={p}" for p in P_VALUES]], ratio_rows,
+        title="Fig. 11(a) Overall Ratio vs p (ProMIPS, k=10, c=0.9)",
+    )
+    table_b = format_table(
+        ["dataset", *[f"p={p}" for p in P_VALUES]], page_rows,
+        title="Fig. 11(b) Page Access vs p (ProMIPS, k=10, c=0.9)",
+        float_fmt="{:.0f}",
+    )
+    emit("fig11_impact_p", table_a + "\n\n" + table_b)
+
+    benchmark(single_query_callable("sift", "ProMIPS"))

@@ -1,0 +1,73 @@
+"""Fig. 4 — index size (a) and pre-processing time (b) for the four methods
+on the four datasets.
+
+Paper shape to reproduce: ProMIPS builds the smallest index and spends the
+least pre-processing time; PQ-Based is the heaviest on both axes (rotation
+matrices, per-cell codebooks, training); H2-ALSH's hash tables dominate its
+footprint; Range-LSH's bit vectors are compact but its single-table
+multi-probe preparation costs build time relative to its size.
+"""
+
+from __future__ import annotations
+
+from common import DATASET_NAMES, METHODS, emit, get_build_report, get_dataset
+from repro.eval.reporting import format_table
+
+
+def _rows(metric: str) -> list[list]:
+    rows = []
+    for dataset in DATASET_NAMES:
+        row: list = [dataset]
+        for method in METHODS:
+            report = get_build_report(dataset, method)
+            value = report.index_mb if metric == "size" else report.build_seconds
+            row.append(value)
+        rows.append(row)
+    return rows
+
+
+def bench_fig4a_index_size(benchmark):
+    table = format_table(
+        ["dataset", *METHODS],
+        _rows("size"),
+        title="Fig. 4(a) Index Size (MB)",
+        float_fmt="{:.3g}",
+    )
+    emit("fig4a_index_size", table)
+
+    for dataset in DATASET_NAMES:
+        promips = get_build_report(dataset, "ProMIPS").index_bytes
+        h2alsh = get_build_report(dataset, "H2-ALSH").index_bytes
+        pq = get_build_report(dataset, "PQ-Based").index_bytes
+        assert promips < h2alsh, f"{dataset}: ProMIPS index must undercut H2-ALSH"
+        assert promips < pq, f"{dataset}: ProMIPS index must undercut PQ-Based"
+
+    # Timing probe: the ProMIPS pre-process on the smallest dataset.
+    from repro.core.promips import ProMIPS, ProMIPSParams
+
+    ds = get_dataset("netflix")
+    benchmark.pedantic(
+        lambda: ProMIPS.build(
+            ds.data, ProMIPSParams(page_size=ds.page_size), rng=1
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def bench_fig4b_preprocessing_time(benchmark):
+    table = format_table(
+        ["dataset", *METHODS],
+        _rows("time"),
+        title="Fig. 4(b) Pre-processing Time (s)",
+        float_fmt="{:.3g}",
+    )
+    emit("fig4b_preprocessing_time", table)
+
+    for dataset in DATASET_NAMES:
+        promips = get_build_report(dataset, "ProMIPS").build_seconds
+        pq = get_build_report(dataset, "PQ-Based").build_seconds
+        assert promips < pq, f"{dataset}: PQ training must dominate ProMIPS build"
+
+    benchmark.pedantic(lambda: get_build_report("netflix", "ProMIPS"), rounds=1,
+                       iterations=1)

@@ -1,0 +1,31 @@
+"""Fig. 6 — recall vs k on the four datasets.
+
+Paper shape: trends mirror the overall ratio (Fig. 5); all methods land in
+a high-recall band, with P53 the hardest dataset and the PQ baseline's
+exact re-ranking keeping it competitive.
+"""
+
+from __future__ import annotations
+
+from common import DATASET_NAMES, K_VALUES, METHODS, emit, get_report, single_query_callable
+from repro.eval.reporting import format_series
+
+
+def bench_fig6_recall(benchmark):
+    blocks = []
+    for dataset in DATASET_NAMES:
+        series = {
+            method: [get_report(dataset, method, k).recall for k in K_VALUES]
+            for method in METHODS
+        }
+        blocks.append(
+            format_series("k", K_VALUES, series, title=f"Fig. 6 Recall — {dataset}")
+        )
+        for k in K_VALUES:
+            promips = get_report(dataset, "ProMIPS", k).recall
+            assert promips >= 0.6, (
+                f"{dataset} k={k}: ProMIPS recall {promips:.3f} below the paper band"
+            )
+    emit("fig6_recall", "\n\n".join(blocks))
+
+    benchmark(single_query_callable("yahoo", "ProMIPS"))

@@ -1,0 +1,32 @@
+"""Fig. 8 — CPU time per query vs k on the four datasets.
+
+Paper shape: the PQ baseline is the CPU-cheapest (pre-computed ADC lookup
+tables); H2-ALSH pays for collision counting across many hash tables;
+ProMIPS sits between — Quick-Probe replaces the per-point Condition-B
+testing of the incremental search, keeping its CPU comparable.
+"""
+
+from __future__ import annotations
+
+from common import DATASET_NAMES, K_VALUES, METHODS, emit, get_report, single_query_callable
+from repro.eval.reporting import format_series
+
+
+def bench_fig8_cpu_time(benchmark):
+    blocks = []
+    for dataset in DATASET_NAMES:
+        series = {
+            method: [get_report(dataset, method, k).cpu_ms for k in K_VALUES]
+            for method in METHODS
+        }
+        blocks.append(
+            format_series("k", K_VALUES, series,
+                          title=f"Fig. 8 CPU Time (ms) — {dataset}", float_fmt="{:.2f}")
+        )
+        # PQ's LUT scan must be the cheapest CPU at k=10, as in the paper.
+        pq = get_report(dataset, "PQ-Based", K_VALUES[0]).cpu_ms
+        h2 = get_report(dataset, "H2-ALSH", K_VALUES[0]).cpu_ms
+        assert pq < h2, f"{dataset}: PQ-Based must beat H2-ALSH on CPU"
+    emit("fig8_cpu_time", "\n\n".join(blocks))
+
+    benchmark(single_query_callable("p53", "ProMIPS"))

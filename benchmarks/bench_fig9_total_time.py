@@ -1,0 +1,36 @@
+"""Fig. 9 — total time (CPU + disk reads) vs k on Netflix and Yahoo.
+
+Paper shape: "a large portion of the time consumption comes from reading
+data from disks.  Since ProMIPS performs the best on page access, it obtains
+the superior performance on total time." — with the simulated per-page
+latency, ProMIPS must beat H2-ALSH on total time at every k.
+"""
+
+from __future__ import annotations
+
+from common import K_VALUES, METHODS, emit, get_report, single_query_callable
+from repro.eval.reporting import format_series
+
+FIG9_DATASETS = ["netflix", "yahoo"]  # the paper shows these two (space limits)
+
+
+def bench_fig9_total_time(benchmark):
+    blocks = []
+    for dataset in FIG9_DATASETS:
+        series = {
+            method: [get_report(dataset, method, k).total_ms for k in K_VALUES]
+            for method in METHODS
+        }
+        blocks.append(
+            format_series("k", K_VALUES, series,
+                          title=f"Fig. 9 Total Time (ms) — {dataset}", float_fmt="{:.2f}")
+        )
+        for k in K_VALUES:
+            promips = get_report(dataset, "ProMIPS", k).total_ms
+            h2alsh = get_report(dataset, "H2-ALSH", k).total_ms
+            assert promips < h2alsh, (
+                f"{dataset} k={k}: ProMIPS total time must beat H2-ALSH"
+            )
+    emit("fig9_total_time", "\n\n".join(blocks))
+
+    benchmark(single_query_callable("netflix", "H2-ALSH"))

@@ -1,0 +1,76 @@
+"""Maintenance cost under churn — the paper's §I motivation, quantified.
+
+"Especially in commonly used mobile devices or IoT devices, a huge amount of
+data will be frequently inserted or deleted in a short time, where the
+heavyweight index requiring more maintenance overhead may cause delays."
+
+The bench streams a churn workload (inserts + deletes) into
+:class:`repro.core.dynamic.DynamicProMIPS` and compares the amortised
+per-update cost against the naive alternative for a heavyweight method:
+rebuilding H2-ALSH's hash tables on every batch.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from common import emit, get_dataset, single_query_callable
+from repro.baselines.h2alsh import H2ALSH
+from repro.core.dynamic import DynamicProMIPS
+from repro.core.promips import ProMIPSParams
+from repro.eval.reporting import format_table
+
+N_UPDATES = 400
+BATCH = 100  # the heavyweight baseline rebuilds once per batch
+
+
+def bench_maintenance_churn(benchmark):
+    ds = get_dataset("netflix")
+    base = ds.data[: ds.n // 2]
+    stream = ds.data[ds.n // 2 : ds.n // 2 + N_UPDATES]
+
+    # --- DynamicProMIPS: per-update inserts + occasional amortised rebuild.
+    dynamic = DynamicProMIPS(
+        base, ProMIPSParams(page_size=ds.page_size), rng=1, rebuild_threshold=0.05
+    )
+    t0 = time.perf_counter()
+    for i, row in enumerate(stream):
+        dynamic.insert(row)
+        if i % 10 == 9:
+            dynamic.delete(int(i // 10))  # steady trickle of deletes
+    promips_total = time.perf_counter() - t0
+    promips_per_update = promips_total / (N_UPDATES + N_UPDATES // 10)
+
+    # --- Heavyweight baseline: rebuild hash tables every BATCH inserts.
+    t0 = time.perf_counter()
+    current = base
+    for start in range(0, N_UPDATES, BATCH):
+        current = np.vstack([current, stream[start : start + BATCH]])
+        H2ALSH(current, rng=1, page_size=ds.page_size)
+    h2_total = time.perf_counter() - t0
+    h2_per_update = h2_total / N_UPDATES
+
+    # Queries still work mid-churn with the guarantee intact.
+    q = ds.queries[0]
+    result = dynamic.search(q, k=10)
+    assert len(result) == 10
+
+    rows = [
+        ["DynamicProMIPS (delta buffer + amortised rebuild)",
+         promips_total, promips_per_update * 1e3, dynamic.rebuilds],
+        [f"H2-ALSH (rebuild per {BATCH}-insert batch)",
+         h2_total, h2_per_update * 1e3, N_UPDATES // BATCH],
+    ]
+    table = format_table(
+        ["strategy", "total_s", "per-update_ms", "rebuilds"], rows,
+        title=(f"Maintenance — {N_UPDATES} inserts + {N_UPDATES // 10} deletes "
+               f"into n={len(base)} (§I motivation)"),
+    )
+    emit("maintenance_churn", table)
+
+    assert promips_per_update < h2_per_update, (
+        "the lightweight index must win the churn workload"
+    )
+    benchmark(single_query_callable("netflix", "ProMIPS"))

@@ -1,0 +1,69 @@
+"""Table II — time and space complexity, checked empirically.
+
+The paper states ProMIPS costs ``O(d + n log n)`` time per query and
+``O(nd + n log n)`` space.  The bench measures query CPU time and index
+size while scaling n (fixed d) and d (fixed n), and checks the growth is
+compatible: sub-linear-ish query time in n (far from the O(n·d) exact scan)
+and near-linear index size in n.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from common import emit, single_query_callable
+from repro.core.promips import ProMIPS, ProMIPSParams
+from repro.data.synthetic import make_latent_factor, sample_queries
+from repro.eval.reporting import format_table
+
+
+def _measure(n: int, dim: int, n_queries: int = 15) -> dict:
+    rng = np.random.default_rng(5)
+    data, _ = make_latent_factor(n, dim, rng)
+    queries, _ = sample_queries(data, n_queries, rng)
+    t0 = time.perf_counter()
+    index = ProMIPS.build(data, ProMIPSParams(), rng=1)
+    build_s = time.perf_counter() - t0
+
+    cpu, pages = [], []
+    for q in queries:
+        t0 = time.perf_counter()
+        res = index.search(q, k=10)
+        cpu.append(time.perf_counter() - t0)
+        pages.append(res.stats.pages)
+    return {
+        "n": n,
+        "d": dim,
+        "m": index.m,
+        "build_s": build_s,
+        "index_mb": index.index_size_bytes() / 2**20,
+        "query_ms": float(np.mean(cpu)) * 1e3,
+        "pages": float(np.mean(pages)),
+    }
+
+
+def bench_table2_scaling(benchmark):
+    n_sweep = [_measure(n, 48) for n in (4000, 8000, 16000, 32000)]
+    d_sweep = [_measure(8000, d) for d in (32, 64, 128)]
+
+    headers = ["n", "d", "m", "build_s", "index_mb", "query_ms", "pages"]
+    rows = [[r[h] for h in headers] for r in n_sweep + d_sweep]
+    table = format_table(
+        headers, rows,
+        title=("Table II (empirical) — ProMIPS scaling; paper claims "
+               "time O(d + n log n), space O(nd + n log n)"),
+    )
+    emit("table2_complexity", table)
+
+    # Index size ~ linear in n: growing n by 8x should grow the index by
+    # less than ~16x (n log n regime) and more than ~4x.
+    size_ratio = n_sweep[-1]["index_mb"] / n_sweep[0]["index_mb"]
+    assert 3.0 < size_ratio < 20.0, f"index growth {size_ratio:.1f}x off-regime"
+
+    # Query time far from linear in n: 8x data ⇒ well under 8x time.
+    time_ratio = n_sweep[-1]["query_ms"] / max(n_sweep[0]["query_ms"], 1e-9)
+    assert time_ratio < 8.0, f"query time grew {time_ratio:.1f}x over an 8x n-sweep"
+
+    benchmark(single_query_callable("netflix", "ProMIPS"))

@@ -1,0 +1,8 @@
+"""Benchmark-suite configuration: make the shared cache importable."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,62 @@
+"""Side-by-side comparison of ProMIPS against the paper's three baselines
+(H2-ALSH, Norm Ranging-LSH, PQ-Based) on one of the four evaluation
+datasets — a miniature of the paper's §VIII figures.
+
+Run:  python examples/method_comparison.py [netflix|yahoo|p53|sift]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.data import load_dataset
+from repro.eval import (
+    GroundTruth,
+    build_method,
+    default_registry,
+    format_table,
+    run_method,
+)
+
+SIM_OVERRIDES = {
+    "netflix": dict(n=8000, dim=64),
+    "yahoo": dict(n=15000, dim=64),
+    "p53": dict(n=4000, dim=512),
+    "sift": dict(n=15000, dim=64),
+}
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "netflix"
+    if name not in SIM_OVERRIDES:
+        raise SystemExit(f"unknown dataset {name!r}; pick from {sorted(SIM_OVERRIDES)}")
+    dataset = load_dataset(name, n_queries=25, **SIM_OVERRIDES[name])
+    print(f"dataset {name}: n={dataset.n}, d={dataset.dim}, "
+          f"page={dataset.page_size}B, {len(dataset.queries)} queries\n")
+
+    ground_truth = GroundTruth(dataset.data, dataset.queries, k_max=10)
+    registry = default_registry()
+    rows = []
+    for method in registry.names():
+        index, build = build_method(registry, method, dataset, seed=1)
+        report = run_method(index, dataset, ground_truth, k=10, method=method)
+        rows.append([
+            method,
+            build.build_seconds,
+            build.index_mb,
+            report.overall_ratio,
+            report.recall,
+            report.pages,
+            report.cpu_ms,
+            report.total_ms,
+        ])
+    print(format_table(
+        ["method", "build_s", "index_MB", "ratio", "recall", "pages",
+         "cpu_ms", "total_ms"],
+        rows,
+        title=f"c-10-AMIP on {name} (c=0.9, p=0.5)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

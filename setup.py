@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` on this machine cannot build PEP 660 editable wheels
+(no ``wheel`` distribution available offline), so the legacy
+``setup.py develop`` path is kept alive via this file.  All metadata lives
+in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

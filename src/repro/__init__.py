@@ -1,0 +1,55 @@
+"""ProMIPS reproduction: probability-guaranteed c-approximate MIP search.
+
+Public API:
+
+* :class:`repro.ProMIPS` / :class:`repro.ProMIPSParams` — the paper's method.
+* :class:`repro.SearchResult` / :class:`repro.SearchStats` — common result types.
+* ``repro.baselines`` — exact scan, H2-ALSH, Norm Ranging-LSH, PQ-based search.
+* ``repro.data`` — synthetic analogues of the four evaluation datasets.
+* ``repro.eval`` — metrics and the experiment harness regenerating the paper's
+  tables and figures.
+
+Quickstart:
+
+>>> import numpy as np
+>>> from repro import ProMIPS, ProMIPSParams
+>>> data = np.random.default_rng(0).standard_normal((1000, 32))
+>>> index = ProMIPS.build(data, ProMIPSParams(c=0.9, p=0.5), rng=1)
+>>> result = index.search(data[0], k=5)
+>>> len(result.ids)
+5
+"""
+
+from repro.api import MIPSIndex, SearchResult, SearchStats
+from repro.core.batch import BatchStats, search_batch
+from repro.core.dynamic import DynamicProMIPS
+from repro.core.persist import load_index, save_index
+from repro.core.promips import ProMIPS, ProMIPSParams
+from repro.baselines.exact import ExactMIPS
+from repro.baselines.h2alsh import H2ALSH
+from repro.baselines.pq import PQBasedMIPS
+from repro.baselines.rangelsh import RangeLSH
+from repro.data.datasets import load_dataset
+from repro.eval.harness import default_registry
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MIPSIndex",
+    "SearchResult",
+    "SearchStats",
+    "ProMIPS",
+    "ProMIPSParams",
+    "BatchStats",
+    "search_batch",
+    "DynamicProMIPS",
+    "load_index",
+    "save_index",
+    "ExactMIPS",
+    "H2ALSH",
+    "PQBasedMIPS",
+    "RangeLSH",
+    "load_dataset",
+    "default_registry",
+    "__version__",
+]

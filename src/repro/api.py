@@ -1,0 +1,81 @@
+"""Shared public types: search results, statistics, and the index protocol.
+
+Every MIPS method in this repository — ProMIPS and the three baselines —
+returns the same :class:`SearchResult` so the evaluation harness and the
+examples can treat them interchangeably.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = ["SearchStats", "SearchResult", "MIPSIndex", "validate_query"]
+
+
+@dataclass
+class SearchStats:
+    """Per-query accounting shared by all methods.
+
+    Attributes:
+        pages: distinct disk pages read (index pages + data pages).
+        candidates: points whose exact inner product was computed.
+        extras: method-specific diagnostics (e.g. ProMIPS' probe radius and
+            whether the compensation pass ran).
+    """
+
+    pages: int = 0
+    candidates: int = 0
+    extras: dict = field(default_factory=dict)
+
+
+@dataclass
+class SearchResult:
+    """Top-k answer of a c-k-AMIP search.
+
+    Attributes:
+        ids: ``(k',)`` point ids sorted by descending inner product
+            (``k' <= k`` when the dataset is smaller than ``k``).
+        scores: matching inner products ``⟨o_i, q⟩``.
+        stats: per-query accounting.
+    """
+
+    ids: np.ndarray
+    scores: np.ndarray
+    stats: SearchStats
+
+    def __post_init__(self) -> None:
+        self.ids = np.asarray(self.ids, dtype=np.int64)
+        self.scores = np.asarray(self.scores, dtype=np.float64)
+        if self.ids.shape != self.scores.shape:
+            raise ValueError(
+                f"ids and scores must align, got {self.ids.shape} vs {self.scores.shape}"
+            )
+
+    def __len__(self) -> int:
+        return int(self.ids.size)
+
+
+@runtime_checkable
+class MIPSIndex(Protocol):
+    """What the harness requires of a maximum-inner-product index."""
+
+    def search(self, query: np.ndarray, k: int = 1) -> SearchResult:
+        """Return the (approximate) top-k MIP points for ``query``."""
+        ...
+
+    def index_size_bytes(self) -> int:
+        """Size of the auxiliary index structures (excluding the raw data)."""
+        ...
+
+
+def validate_query(query: np.ndarray, dim: int) -> np.ndarray:
+    """Normalise a query to a finite 1-D float64 vector of the right width."""
+    query = np.asarray(query, dtype=np.float64).reshape(-1)
+    if query.shape[0] != dim:
+        raise ValueError(f"query has dimension {query.shape[0]}, index expects {dim}")
+    if not np.all(np.isfinite(query)):
+        raise ValueError("query contains non-finite values")
+    return query

@@ -1,0 +1,237 @@
+"""First-generation ALSH baselines from the paper's related work (§IX).
+
+These are the methods whose *transformation errors* motivated H2-ALSH and,
+in turn, ProMIPS; having them executable makes the §IX narrative testable:
+
+* **L2-ALSH** (Shrivastava & Li, NIPS 2014): asymmetric MIPS→NNS reduction
+  ``P(x) = [Ux̂ ; ‖Ux̂‖² ; ‖Ux̂‖⁴ ; … m terms]``,
+  ``Q(q) = [q/‖q‖ ; ½ ; ½ ; …]``, solved with E2LSH.  The appended powers
+  vanish only asymptotically — the residual ``‖Ux̂‖^{2^{m+1}}`` is the
+  *transformation error*, and scaling everything into the unit ball causes
+  the *distortion error* (§IX: "the Euclidean distance between most data
+  points and the query point will be close to each other").
+  Defaults m = 3, U = 0.83 follow the original paper.
+
+* **Sign-ALSH** (Shrivastava & Li, UAI 2015): the MCS variant
+  ``P(x) = [Ux̂ ; ½−‖Ux̂‖² ; ½−‖Ux̂‖⁴ ; …]``, ``Q(q) = [q/‖q‖ ; 0 ; …]``,
+  solved with SimHash.  Defaults m = 2, U = 0.75.
+
+* **Simple-LSH** (Neyshabur & Srebro, ICML 2015): the symmetric reduction
+  already used inside Range-LSH, here with a single *global* maximum norm —
+  exhibiting the long-tail excessive-normalization problem Range-LSH fixes
+  (it is literally :class:`repro.baselines.rangelsh.RangeLSH` with one
+  partition).
+
+All three return exact inner products for their candidates, so quality
+differences against ProMIPS come purely from candidate selection.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.api import SearchResult, SearchStats, validate_query
+from repro.baselines.e2lsh import E2LSH
+from repro.baselines.rangelsh import RangeLSH
+from repro.baselines.simhash import SimHash, hamming_distance
+from repro.storage.pagefile import DEFAULT_PAGE_SIZE, VectorStore
+
+__all__ = ["L2ALSH", "SignALSH", "simple_lsh"]
+
+
+def _scaled_unit(data: np.ndarray, u: float) -> tuple[np.ndarray, float]:
+    """Scale the dataset into the radius-``u`` ball; returns (scaled, factor)."""
+    max_norm = float(np.linalg.norm(data, axis=1).max())
+    factor = u / max_norm if max_norm > 0 else 1.0
+    return data * factor, factor
+
+
+def _power_tail(scaled: np.ndarray, m: int) -> np.ndarray:
+    """``[‖x‖² ; ‖x‖⁴ ; … ‖x‖^{2^m}]`` columns of the ALSH transforms."""
+    norms_sq = np.einsum("ij,ij->i", scaled, scaled)
+    cols = []
+    power = norms_sq.copy()
+    for _ in range(m):
+        cols.append(power.copy())
+        power = power * power
+    return np.stack(cols, axis=1)
+
+
+class L2ALSH:
+    """L2-ALSH(U, m) + E2LSH — the NIPS 2014 baseline.
+
+    Args:
+        data: ``(n, d)`` dataset.
+        rng: generator or seed.
+        m: number of appended power terms (paper default 3).
+        u: scaling radius (paper default 0.83).
+        n_tables / n_bits: E2LSH configuration.
+        page_size: page accounting.
+    """
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        rng: np.random.Generator | int | None = None,
+        m: int = 3,
+        u: float = 0.83,
+        n_tables: int = 16,
+        n_bits: int = 6,
+        page_size: int = DEFAULT_PAGE_SIZE,
+    ) -> None:
+        if not 0.0 < u < 1.0:
+            raise ValueError(f"U must lie in (0, 1), got {u}")
+        if m <= 0:
+            raise ValueError(f"m must be positive, got {m}")
+        if not isinstance(rng, np.random.Generator):
+            rng = np.random.default_rng(rng)
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2 or data.shape[0] == 0:
+            raise ValueError(f"data must be a non-empty (n, d) array, got {data.shape}")
+        self._data = data
+        self.n, self.dim = data.shape
+        self.m = int(m)
+        self.u = float(u)
+
+        scaled, self._factor = _scaled_unit(data, u)
+        transformed = np.hstack([scaled, _power_tail(scaled, m)])
+        self._lsh = E2LSH(transformed, rng, n_tables=n_tables, n_bits=n_bits,
+                          page_size=page_size)
+        self._store = VectorStore(data, page_size, label="l2alsh")
+
+    def index_size_bytes(self) -> int:
+        return self._lsh.index_size_bytes()
+
+    def _transform_query(self, query: np.ndarray) -> np.ndarray:
+        q_norm = float(np.linalg.norm(query))
+        unit = query / q_norm if q_norm > 0 else query
+        return np.concatenate([unit, np.full(self.m, 0.5)])
+
+    def search(self, query: np.ndarray, k: int = 1) -> SearchResult:
+        """c-k-AMIP via E2LSH collisions + exact verification."""
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        query = validate_query(query, self.dim)
+        k = min(k, self.n)
+        index_pages = [0]
+        cands = self._lsh.candidates(self._transform_query(query), index_pages)
+        reader = self._store.reader()
+        heap: list[tuple[float, int]] = []
+        if cands.size:
+            ips = reader.get_many(cands) @ query
+            for pid, ip in zip(cands.tolist(), ips.tolist()):
+                if len(heap) < k:
+                    heapq.heappush(heap, (ip, pid))
+                elif ip > heap[0][0]:
+                    heapq.heapreplace(heap, (ip, pid))
+        ranked = sorted(heap, key=lambda t: (-t[0], t[1]))
+        stats = SearchStats(
+            pages=index_pages[0] + reader.pages_touched,
+            candidates=int(cands.size),
+        )
+        return SearchResult(
+            ids=np.array([pid for _, pid in ranked], dtype=np.int64),
+            scores=np.array([ip for ip, _ in ranked]),
+            stats=stats,
+        )
+
+    def __repr__(self) -> str:
+        return f"L2ALSH(n={self.n}, d={self.dim}, m={self.m}, U={self.u})"
+
+
+class SignALSH:
+    """Sign-ALSH(U, m) + SimHash — the UAI 2015 baseline.
+
+    Args:
+        data: ``(n, d)`` dataset.
+        rng: generator or seed.
+        m: appended terms (paper default 2).
+        u: scaling radius (paper default 0.75).
+        n_bits: SimHash code length.
+        candidate_fraction: verification budget.
+        page_size: page accounting.
+    """
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        rng: np.random.Generator | int | None = None,
+        m: int = 2,
+        u: float = 0.75,
+        n_bits: int = 24,
+        candidate_fraction: float = 0.1,
+        page_size: int = DEFAULT_PAGE_SIZE,
+    ) -> None:
+        if not 0.0 < u < 1.0:
+            raise ValueError(f"U must lie in (0, 1), got {u}")
+        if m <= 0:
+            raise ValueError(f"m must be positive, got {m}")
+        if not isinstance(rng, np.random.Generator):
+            rng = np.random.default_rng(rng)
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2 or data.shape[0] == 0:
+            raise ValueError(f"data must be a non-empty (n, d) array, got {data.shape}")
+        self._data = data
+        self.n, self.dim = data.shape
+        self.m = int(m)
+        self.u = float(u)
+        self.candidate_fraction = float(candidate_fraction)
+
+        scaled, self._factor = _scaled_unit(data, u)
+        transformed = np.hstack([scaled, 0.5 - _power_tail(scaled, m)])
+        self.simhash = SimHash(self.dim + m, n_bits, rng)
+        self._codes = self.simhash.encode(transformed)
+        self._store = VectorStore(data, page_size, label="signalsh")
+        self._code_pages = -(-self.n * 8 // page_size)
+
+    def index_size_bytes(self) -> int:
+        return self.n * 8 + self.simhash.size_bytes()
+
+    def search(self, query: np.ndarray, k: int = 1) -> SearchResult:
+        """c-k-AMIP via Hamming ranking + exact verification."""
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        query = validate_query(query, self.dim)
+        k = min(k, self.n)
+        q_norm = float(np.linalg.norm(query))
+        unit = query / q_norm if q_norm > 0 else query
+        q_code = int(self.simhash.encode(np.concatenate([unit, np.zeros(self.m)])))
+        hams = hamming_distance(self._codes, q_code)
+        budget = max(int(self.candidate_fraction * self.n), 12 * k)
+        order = np.argsort(hams, kind="stable")[:budget]
+        reader = self._store.reader()
+        ips = reader.get_many(order) @ query
+        top = np.argsort(-ips, kind="stable")[:k]
+        stats = SearchStats(
+            pages=self._code_pages + reader.pages_touched,
+            candidates=int(order.size),
+        )
+        return SearchResult(ids=order[top], scores=ips[top], stats=stats)
+
+    def __repr__(self) -> str:
+        return f"SignALSH(n={self.n}, d={self.dim}, m={self.m}, U={self.u})"
+
+
+def simple_lsh(
+    data: np.ndarray,
+    rng: np.random.Generator | int | None = None,
+    n_bits: int = 16,
+    page_size: int = DEFAULT_PAGE_SIZE,
+    candidate_fraction: float = 0.1,
+) -> RangeLSH:
+    """Simple-LSH = Range-LSH with a single global partition.
+
+    One global maximum norm normalizes everything — reproducing the
+    excessive-normalization weakness on long-tailed data that Range-LSH's
+    norm-ranked subsets repair.
+    """
+    return RangeLSH(
+        data,
+        rng=rng,
+        n_parts=1,
+        n_bits=n_bits,
+        page_size=page_size,
+        candidate_fraction=candidate_fraction,
+    )

@@ -1,0 +1,58 @@
+"""Exact MIP search by linear scan.
+
+Serves two purposes: the ground truth for overall-ratio and recall metrics,
+and the trivially correct reference each approximate method is validated
+against in the tests.  Page accounting reflects a full sequential scan of the
+data file.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.api import SearchResult, SearchStats, validate_query
+from repro.storage.pagefile import DEFAULT_PAGE_SIZE, VectorStore
+
+__all__ = ["ExactMIPS", "exact_topk"]
+
+
+def exact_topk(data: np.ndarray, query: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Top-k ids and inner products by brute force (descending, ties by id)."""
+    ips = data @ query
+    k = min(k, data.shape[0])
+    # argpartition + stable sort keeps this O(n + k log k).
+    part = np.argpartition(-ips, k - 1)[:k]
+    order = part[np.lexsort((part, -ips[part]))]
+    return order.astype(np.int64), ips[order]
+
+
+class ExactMIPS:
+    """Brute-force MIP index with paged accounting.
+
+    Args:
+        data: ``(n, d)`` dataset.
+        page_size: disk page size for the sequential-scan accounting.
+    """
+
+    def __init__(self, data: np.ndarray, page_size: int = DEFAULT_PAGE_SIZE) -> None:
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2 or data.shape[0] == 0:
+            raise ValueError(f"data must be a non-empty (n, d) array, got {data.shape}")
+        self._data = data
+        self.n, self.dim = data.shape
+        self._store = VectorStore(data, page_size, label="exact")
+
+    def index_size_bytes(self) -> int:
+        """An exact scan keeps no auxiliary structures."""
+        return 0
+
+    def search(self, query: np.ndarray, k: int = 1) -> SearchResult:
+        """Exact top-k MIP by scanning every page of the data file."""
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        query = validate_query(query, self.dim)
+        reader = self._store.reader()
+        data = reader.scan_all()
+        ids, ips = exact_topk(data, query, k)
+        stats = SearchStats(pages=reader.pages_touched, candidates=self.n)
+        return SearchResult(ids=ids, scores=ips, stats=stats)

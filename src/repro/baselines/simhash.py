@@ -1,0 +1,69 @@
+"""SimHash — sign random projections for cosine similarity (Charikar, STOC 2002).
+
+``h(x) = sign(a · x)`` with ``a ~ N(0, I)`` satisfies
+``Pr[h(x) ≠ h(y)] = θ(x, y)/π``, so the Hamming distance between ``b``-bit
+codes estimates the angle:  ``θ̂ = π · hamming / b`` and
+``cos θ̂ ≈ cos(π · hamming / b)``.
+
+Norm Ranging-LSH builds one shared SimHash over the Simple-LSH-transformed
+points of all its norm-range subsets; the per-subset maximum norm then turns
+the cosine estimate into an inner-product upper bound used to rank probes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SimHash", "hamming_distance", "hamming_to_cosine"]
+
+
+def hamming_distance(codes: np.ndarray, query_code: int) -> np.ndarray:
+    """Hamming distances between packed codes and one packed query code."""
+    codes = np.asarray(codes, dtype=np.uint64)
+    return np.bitwise_count(codes ^ np.uint64(query_code)).astype(np.int64)
+
+
+def hamming_to_cosine(hamming: np.ndarray | float, n_bits: int) -> np.ndarray | float:
+    """SimHash cosine estimate ``cos(π · hamming / b)``."""
+    return np.cos(np.pi * np.asarray(hamming, dtype=np.float64) / n_bits)
+
+
+class SimHash:
+    """``n_bits`` sign random projections with packed integer codes.
+
+    Args:
+        dim: input dimensionality.
+        n_bits: code length (≤ 63 so codes pack into one uint64).
+        rng: generator for the Gaussian hyperplanes.
+    """
+
+    def __init__(self, dim: int, n_bits: int, rng: np.random.Generator) -> None:
+        if dim <= 0:
+            raise ValueError(f"dim must be positive, got {dim}")
+        if not 1 <= n_bits <= 63:
+            raise ValueError(f"n_bits must be in [1, 63], got {n_bits}")
+        self.dim = int(dim)
+        self.n_bits = int(n_bits)
+        self._hyperplanes = rng.standard_normal((n_bits, dim))
+
+    def encode(self, points: np.ndarray) -> np.ndarray:
+        """Packed codes for one point ``(d,)`` or a batch ``(n, d)``."""
+        points = np.asarray(points, dtype=np.float64)
+        single = points.ndim == 1
+        if single:
+            points = points[None, :]
+        if points.shape[1] != self.dim:
+            raise ValueError(
+                f"points have dimension {points.shape[1]}, SimHash expects {self.dim}"
+            )
+        bits = (points @ self._hyperplanes.T >= 0.0).astype(np.uint64)
+        weights = np.uint64(1) << np.arange(self.n_bits, dtype=np.uint64)
+        codes = (bits * weights[None, :]).sum(axis=1)
+        return codes[0] if single else codes
+
+    def size_bytes(self) -> int:
+        """Footprint of the hyperplane matrix."""
+        return self._hyperplanes.nbytes
+
+    def __repr__(self) -> str:
+        return f"SimHash(dim={self.dim}, n_bits={self.n_bits})"

@@ -1,0 +1,177 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``compare`` — build all four methods on a registry dataset and print the
+  §VIII metric table (ratio / recall / pages / CPU / total).
+* ``sweep`` — one method over a k-grid (the row source of Figs. 5–9).
+* ``tune`` — ProMIPS over a c- and p-grid (Figs. 10–11).
+* ``datasets`` — print Table III for the sim and paper profiles.
+
+Examples::
+
+    python -m repro compare --dataset netflix --n 8000 --dim 64 --k 10
+    python -m repro sweep --dataset sift --method ProMIPS --ks 10,40,100
+    python -m repro tune --dataset yahoo --cs 0.7,0.9 --ps 0.3,0.9
+    python -m repro datasets
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.data.datasets import DATASETS, load_dataset, table3_rows
+from repro.eval.ground_truth import GroundTruth
+from repro.eval.harness import build_method, default_registry, run_method
+from repro.eval.reporting import format_series, format_table
+
+__all__ = ["main"]
+
+
+def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", default="netflix", choices=sorted(DATASETS))
+    parser.add_argument("--n", type=int, default=None, help="override point count")
+    parser.add_argument("--dim", type=int, default=None, help="override dimensionality")
+    parser.add_argument("--queries", type=int, default=25)
+    parser.add_argument("--seed", type=int, default=20210406)
+
+
+def _load(args: argparse.Namespace):
+    return load_dataset(
+        args.dataset, n=args.n, dim=args.dim, n_queries=args.queries, seed=args.seed
+    )
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    dataset = _load(args)
+    registry = default_registry()
+    ground_truth = GroundTruth(dataset.data, dataset.queries, k_max=args.k)
+    rows = []
+    for method in registry.names():
+        index, build = build_method(registry, method, dataset, seed=1)
+        report = run_method(index, dataset, ground_truth, k=args.k, method=method)
+        rows.append([
+            method, build.build_seconds, build.index_mb, report.overall_ratio,
+            report.recall, report.pages, report.cpu_ms, report.total_ms,
+        ])
+    print(format_table(
+        ["method", "build_s", "index_MB", "ratio", "recall", "pages", "cpu_ms",
+         "total_ms"],
+        rows,
+        title=f"c-{args.k}-AMIP on {dataset.name} (n={dataset.n}, d={dataset.dim})",
+    ))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    dataset = _load(args)
+    ks = [int(x) for x in args.ks.split(",")]
+    registry = default_registry()
+    ground_truth = GroundTruth(dataset.data, dataset.queries, k_max=max(ks))
+    index, _ = build_method(registry, args.method, dataset, seed=1)
+    reports = [run_method(index, dataset, ground_truth, k=k, method=args.method)
+               for k in ks]
+    print(format_series(
+        "k", ks,
+        {
+            "ratio": [r.overall_ratio for r in reports],
+            "recall": [r.recall for r in reports],
+            "pages": [r.pages for r in reports],
+            "cpu_ms": [r.cpu_ms for r in reports],
+        },
+        title=f"{args.method} on {dataset.name}",
+    ))
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from repro.core.promips import ProMIPS, ProMIPSParams
+    from repro.eval.metrics import overall_ratio
+
+    dataset = _load(args)
+    cs = [float(x) for x in args.cs.split(",")]
+    ps = [float(x) for x in args.ps.split(",")]
+    ground_truth = GroundTruth(dataset.data, dataset.queries, k_max=args.k)
+    index = ProMIPS.build(
+        dataset.data, ProMIPSParams(page_size=dataset.page_size), rng=1
+    )
+    rows = []
+    for c in cs:
+        for p in ps:
+            ratios, pages = [], []
+            for qi, q in enumerate(dataset.queries):
+                _, exact_ips = ground_truth.topk(qi, args.k)
+                res = index.search(q, k=args.k, c=c, p=p)
+                ratios.append(overall_ratio(res.scores, exact_ips))
+                pages.append(res.stats.pages)
+            rows.append([c, p, float(np.mean(ratios)), float(np.mean(pages))])
+    print(format_table(
+        ["c", "p", "ratio", "pages"], rows,
+        title=f"ProMIPS c/p sweep on {dataset.name} (k={args.k})",
+    ))
+    return 0
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    for profile in ("paper", "sim"):
+        kwargs: dict = {"n_queries": 2}
+        if profile == "sim":
+            if args.n is not None:
+                kwargs["n"] = args.n
+            if args.dim is not None:
+                kwargs["dim"] = args.dim
+        rows = [
+            [r["dataset"], r["n"], r["d"], r["size_mb"]]
+            for r in table3_rows(profile=profile, **(kwargs if profile == "sim" else {}))
+        ]
+        print(format_table(
+            ["dataset", "n", "d", "size_MiB"], rows,
+            title=f"Table III — {profile} profile",
+        ))
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="ProMIPS reproduction experiment runner"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compare = sub.add_parser("compare", help="all methods on one dataset")
+    _add_dataset_args(compare)
+    compare.add_argument("--k", type=int, default=10)
+    compare.set_defaults(func=_cmd_compare)
+
+    sweep = sub.add_parser("sweep", help="one method over a k grid")
+    _add_dataset_args(sweep)
+    sweep.add_argument("--method", default="ProMIPS",
+                       choices=["ProMIPS", "H2-ALSH", "Range-LSH", "PQ-Based"])
+    sweep.add_argument("--ks", default="10,40,70,100")
+    sweep.set_defaults(func=_cmd_sweep)
+
+    tune = sub.add_parser("tune", help="ProMIPS c/p sweep")
+    _add_dataset_args(tune)
+    tune.add_argument("--k", type=int, default=10)
+    tune.add_argument("--cs", default="0.7,0.8,0.9")
+    tune.add_argument("--ps", default="0.3,0.5,0.7,0.9")
+    tune.set_defaults(func=_cmd_tune)
+
+    datasets = sub.add_parser("datasets", help="print Table III")
+    datasets.add_argument("--n", type=int, default=None)
+    datasets.add_argument("--dim", type=int, default=None)
+    datasets.set_defaults(func=_cmd_datasets)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

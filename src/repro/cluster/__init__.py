@@ -1,0 +1,5 @@
+"""Clustering substrate: from-scratch k-means used by indexes and quantizers."""
+
+from repro.cluster.kmeans import KMeansResult, assign_to_centers, kmeans
+
+__all__ = ["KMeansResult", "assign_to_centers", "kmeans"]

@@ -1,0 +1,44 @@
+"""The paper's contribution: projections, conditions, Quick-Probe, ProMIPS."""
+
+from repro.core.batch import BatchStats, search_batch
+from repro.core.binary_codes import (
+    BinaryCodeGroups,
+    group_lower_bounds,
+    pack_code,
+    sign_bits,
+)
+from repro.core.conditions import (
+    compensation_radius,
+    condition_a_holds,
+    condition_b_holds,
+    guarantee_denominator,
+)
+from repro.core.dynamic import DynamicProMIPS
+from repro.core.optimal_dim import optimized_projection_dim, quickprobe_cost
+from repro.core.persist import load_index, save_index
+from repro.core.projection import StableProjection
+from repro.core.promips import ProMIPS, ProMIPSParams
+from repro.core.quickprobe import ProbeOutcome, QuickProbe
+
+__all__ = [
+    "BatchStats",
+    "search_batch",
+    "DynamicProMIPS",
+    "load_index",
+    "save_index",
+    "BinaryCodeGroups",
+    "group_lower_bounds",
+    "pack_code",
+    "sign_bits",
+    "compensation_radius",
+    "condition_a_holds",
+    "condition_b_holds",
+    "guarantee_denominator",
+    "optimized_projection_dim",
+    "quickprobe_cost",
+    "StableProjection",
+    "ProMIPS",
+    "ProMIPSParams",
+    "ProbeOutcome",
+    "QuickProbe",
+]

@@ -1,0 +1,64 @@
+"""Batch query execution with aggregate accounting.
+
+Recommendation back-ends answer MIP queries for whole user cohorts at once;
+this helper runs a query batch through any :class:`repro.api.MIPSIndex` and
+aggregates the per-query statistics (mean/percentile pages, total
+candidates), so callers don't re-implement the bookkeeping loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.api import MIPSIndex, SearchResult
+
+__all__ = ["BatchStats", "search_batch"]
+
+
+@dataclass(frozen=True)
+class BatchStats:
+    """Aggregate accounting for one batch.
+
+    Attributes:
+        n_queries: batch size.
+        mean_pages / p95_pages: page-access distribution across queries.
+        total_candidates: candidates verified over the whole batch.
+    """
+
+    n_queries: int
+    mean_pages: float
+    p95_pages: float
+    total_candidates: int
+
+
+def search_batch(
+    index: MIPSIndex,
+    queries: np.ndarray,
+    k: int = 1,
+    **search_kwargs,
+) -> tuple[list[SearchResult], BatchStats]:
+    """Run ``index.search`` over every row of ``queries``.
+
+    Args:
+        index: any MIPS index (ProMIPS or a baseline).
+        queries: ``(n_q, d)`` array.
+        k: results per query.
+        **search_kwargs: forwarded per query (e.g. ProMIPS ``c=0.8``).
+
+    Returns:
+        The per-query results plus aggregated :class:`BatchStats`.
+    """
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    if queries.shape[0] == 0:
+        raise ValueError("queries must be non-empty")
+    results = [index.search(q, k=k, **search_kwargs) for q in queries]
+    pages = np.array([r.stats.pages for r in results], dtype=np.float64)
+    stats = BatchStats(
+        n_queries=len(results),
+        mean_pages=float(pages.mean()),
+        p95_pages=float(np.percentile(pages, 95)),
+        total_candidates=int(sum(r.stats.candidates for r in results)),
+    )
+    return results, stats

@@ -1,0 +1,95 @@
+"""The probability-guaranteed searching conditions (§IV) and the
+compensation radius of MIP-Search-II (§V-A).
+
+Condition A (Formula 1, deterministic — Theorem 1):
+
+    ``‖oM‖² + ‖q‖² − 2⟨oi, q⟩ / c ≤ 0``
+
+Once any candidate's inner product makes this quantity non-positive, a
+c-AMIP point is *certain* to be among the candidates already seen, because
+``‖o*‖² + ‖q‖² − 2⟨o*, q⟩ = dis²(o*, q) ≥ 0`` and ``‖oM‖ ≥ ‖o*‖``.
+
+Condition B (Formula 2, probabilistic — Theorem 2):
+
+    ``Ψm( dis²(P(oi), P(q)) / (‖oM‖² + ‖q‖² − 2⟨omax, q⟩/c) ) ≥ p``
+
+where ``Ψm`` is the chi-square CDF with ``m`` degrees of freedom (Lemma 2)
+and ``omax`` the best candidate so far.  When it holds, the probability that
+the true MIP point lies beyond the current search frontier *and* no c-AMIP
+point has been collected is at most ``1 − p``.
+
+For c-k-AMIP search both conditions substitute the current k-th best
+candidate ``ok_max`` for ``omax`` (end of §IV).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.stats.chi2 import ChiSquare
+
+__all__ = [
+    "condition_a_holds",
+    "guarantee_denominator",
+    "condition_b_holds",
+    "compensation_radius",
+]
+
+
+def condition_a_holds(max_norm_sq: float, q_norm_sq: float, ip: float, c: float) -> bool:
+    """Formula 1 with candidate inner product ``ip`` (``⟨oi, q⟩``)."""
+    if not 0.0 < c < 1.0:
+        raise ValueError(f"approximation ratio must satisfy 0 < c < 1, got {c}")
+    if math.isinf(ip) and ip < 0:
+        return False  # no candidate yet
+    return max_norm_sq + q_norm_sq - 2.0 * ip / c <= 0.0
+
+
+def guarantee_denominator(
+    max_norm_sq: float, q_norm_sq: float, ip_max: float, c: float
+) -> float:
+    """``‖oM‖² + ‖q‖² − 2⟨omax, q⟩/c`` — the scale Condition B divides by.
+
+    ``ip_max = −inf`` (no candidate yet) yields ``+inf``: Condition B can
+    never fire before the first candidate is collected.
+    """
+    if not 0.0 < c < 1.0:
+        raise ValueError(f"approximation ratio must satisfy 0 < c < 1, got {c}")
+    if math.isinf(ip_max) and ip_max < 0:
+        return math.inf
+    return max_norm_sq + q_norm_sq - 2.0 * ip_max / c
+
+
+def condition_b_holds(
+    proj_dist_sq: float, denominator: float, chi2: ChiSquare, p: float
+) -> bool:
+    """Formula 2, given a pre-computed denominator.
+
+    A non-positive denominator means Condition A already holds for ``omax``
+    itself, which subsumes Condition B; we report True in that case.
+    """
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"guaranteed probability must satisfy 0 < p < 1, got {p}")
+    if proj_dist_sq < 0.0:
+        raise ValueError(f"squared distance must be non-negative, got {proj_dist_sq}")
+    if denominator <= 0.0:
+        return True
+    if math.isinf(denominator):
+        return False
+    return chi2.cdf(proj_dist_sq / denominator) >= p
+
+
+def compensation_radius(denominator: float, chi2: ChiSquare, p: float) -> float:
+    """``r' = sqrt(Ψm⁻¹(p) · (‖oM‖² + ‖q‖² − 2⟨omax,q⟩/c))`` (§V-A).
+
+    This is the smallest projected-space radius at which Condition B is
+    satisfied for the *current* ``omax``; MIP-Search-II extends its range
+    search to ``r'`` when the Quick-Probe estimate fell short.
+    """
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"guaranteed probability must satisfy 0 < p < 1, got {p}")
+    if denominator <= 0.0:
+        return 0.0
+    if math.isinf(denominator):
+        raise ValueError("compensation radius undefined without a candidate")
+    return math.sqrt(chi2.ppf(p) * denominator)

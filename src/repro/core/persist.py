@@ -1,0 +1,97 @@
+"""Save/load a built ProMIPS index.
+
+The pre-process (projection, grouping, two k-means stages, disk layout) is
+the expensive part of the lifecycle; persisting its outputs lets a service
+restart without re-building.  The format is a single ``.npz`` file holding
+plain arrays plus a JSON-encoded parameter blob — no pickling, so files are
+portable across Python versions and safe to load from untrusted storage.
+
+On load the cheap derivations (projected points, binary-code groups) are
+recomputed from the stored projection matrix, while both k-means stages are
+restored from the stored geometry via :meth:`RingIDistance.from_state`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.binary_codes import BinaryCodeGroups
+from repro.core.projection import StableProjection
+from repro.core.promips import ProMIPS, ProMIPSParams
+from repro.core.quickprobe import QuickProbe
+from repro.index.ring_idistance import RingIDistance
+from repro.storage.pagefile import VectorStore
+
+__all__ = ["save_index", "load_index"]
+
+_FORMAT_VERSION = 1
+
+
+def save_index(index: ProMIPS, path: str | Path) -> Path:
+    """Serialize a built index to ``path`` (a ``.npz`` file).
+
+    Returns the path written (with the ``.npz`` suffix ensured).
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "params": asdict(index.params),
+    }
+    ring_state = {f"ring_{k}": v for k, v in index.ring.state().items()}
+    np.savez_compressed(
+        path,
+        meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        data=index._data,
+        projection_matrix=index.projection.matrix,
+        **ring_state,
+    )
+    return path
+
+
+def load_index(path: str | Path) -> ProMIPS:
+    """Reconstruct a :class:`ProMIPS` index saved by :func:`save_index`."""
+    path = Path(path)
+    with np.load(path) as blob:
+        meta = json.loads(bytes(blob["meta"].tobytes()).decode())
+        if meta.get("format_version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported index format {meta.get('format_version')!r} "
+                f"(expected {_FORMAT_VERSION})"
+            )
+        params = ProMIPSParams(**meta["params"])
+        data = np.asarray(blob["data"], dtype=np.float64)
+        matrix = np.asarray(blob["projection_matrix"], dtype=np.float64)
+        ring_state = {
+            key[len("ring_"):]: blob[key] for key in blob.files
+            if key.startswith("ring_")
+        }
+
+    projection = StableProjection.__new__(StableProjection)
+    projection.dim = data.shape[1]
+    projection.proj_dim = matrix.shape[0]
+    projection._matrix = matrix
+
+    projected = projection.project(data)
+    l1_norms = np.abs(data).sum(axis=1)
+    groups = BinaryCodeGroups(projected, l1_norms)
+    quickprobe = QuickProbe(groups)
+    ring = RingIDistance.from_state(projected, ring_state, order=params.tree_order)
+    orig_store = VectorStore(
+        data, params.page_size, layout_order=ring.layout_order, label="promips-orig"
+    )
+    proj_store = VectorStore(
+        projected, params.page_size, layout_order=ring.layout_order,
+        label="promips-proj",
+    )
+    index = ProMIPS(
+        data, params, projection, projected, groups, quickprobe, ring,
+        orig_store, proj_store,
+    )
+    index._l1_norms = l1_norms
+    return index

@@ -1,0 +1,444 @@
+"""ProMIPS — the paper's contribution, assembled from the substrates.
+
+The public entry point is :class:`ProMIPS`:
+
+>>> index = ProMIPS.build(data, ProMIPSParams(c=0.9, p=0.5))
+>>> result = index.search(query, k=10)
+
+``search`` implements MIP-Search-II (Algorithm 3): Quick-Probe determines a
+range-search radius, one range search over the ring-pattern iDistance
+collects candidates, Condition A can terminate verification early, and a
+compensation pass extends the radius to ``r'`` when Condition B is not yet
+met.  ``search_incremental`` implements MIP-Search-I (Algorithm 1), the
+incremental-NN variant that Quick-Probe was designed to replace; it is kept
+both as a reference implementation and for the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.api import SearchResult, SearchStats, validate_query
+from repro.core.binary_codes import BinaryCodeGroups
+from repro.core.conditions import (
+    compensation_radius,
+    condition_a_holds,
+    condition_b_holds,
+    guarantee_denominator,
+)
+from repro.core.optimal_dim import optimized_projection_dim
+from repro.core.projection import StableProjection
+from repro.core.quickprobe import QuickProbe
+from repro.index.ring_idistance import RingIDistance
+from repro.storage.pagefile import DEFAULT_PAGE_SIZE, AccessCounter, VectorStore
+
+__all__ = ["ProMIPSParams", "ProMIPS"]
+
+
+@dataclass(frozen=True)
+class ProMIPSParams:
+    """Build/search parameters (§VIII-A-4 defaults).
+
+    Attributes:
+        c: approximation ratio, ``0 < c < 1`` (paper default 0.9).
+        p: guaranteed probability, ``0 < p < 1`` (paper default 0.5).
+        m: projected dimensionality; ``None`` selects the §V-B optimum
+            ``argmin 2^m(m+1) + n/2^m``.
+        kp: number of first-stage iDistance partitions (paper default 5).
+        n_key: rings per partition, ``Nkey`` (paper default 40).
+        ksp: sub-partitions per ring (paper default 10).
+        epsilon: ring width; ``None`` derives ``r_avg / Nkey`` from the data
+            (the paper's per-dataset constants were obtained the same way).
+        page_size: disk page size in bytes (4KB; the paper uses 64KB on P53).
+        tree_order: B+-tree fanout.
+    """
+
+    c: float = 0.9
+    p: float = 0.5
+    m: int | None = None
+    kp: int = 5
+    n_key: int = 40
+    ksp: int = 10
+    epsilon: float | None = None
+    page_size: int = DEFAULT_PAGE_SIZE
+    tree_order: int = 64
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.c < 1.0:
+            raise ValueError(f"approximation ratio must satisfy 0 < c < 1, got {self.c}")
+        if not 0.0 < self.p < 1.0:
+            raise ValueError(f"guaranteed probability must satisfy 0 < p < 1, got {self.p}")
+        if self.m is not None and self.m <= 0:
+            raise ValueError(f"m must be positive, got {self.m}")
+        if min(self.kp, self.n_key, self.ksp) <= 0:
+            raise ValueError("kp, n_key and ksp must all be positive")
+
+
+class _TopK:
+    """Running top-k inner products (min-heap of (ip, id))."""
+
+    __slots__ = ("k", "_heap", "_seen")
+
+    def __init__(self, k: int) -> None:
+        self.k = k
+        self._heap: list[tuple[float, int]] = []
+        self._seen: set[int] = set()
+
+    def offer(self, ip: float, pid: int) -> None:
+        if pid in self._seen:
+            return
+        self._seen.add(pid)
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, (ip, pid))
+        elif ip > self._heap[0][0]:
+            heapq.heapreplace(self._heap, (ip, pid))
+
+    @property
+    def full(self) -> bool:
+        return len(self._heap) >= self.k
+
+    @property
+    def kth_ip(self) -> float:
+        """Inner product of the current k-th best; −inf until k candidates."""
+        if not self.full:
+            return -math.inf
+        return self._heap[0][0]
+
+    @property
+    def weakest_ip(self) -> float:
+        """Smallest collected inner product; −inf when empty."""
+        if not self._heap:
+            return -math.inf
+        return self._heap[0][0]
+
+    def result(self) -> tuple[np.ndarray, np.ndarray]:
+        ranked = sorted(self._heap, key=lambda t: (-t[0], t[1]))
+        ids = np.array([pid for _, pid in ranked], dtype=np.int64)
+        ips = np.array([ip for ip, _ in ranked], dtype=np.float64)
+        return ids, ips
+
+
+class ProMIPS:
+    """Probability-guaranteed c-AMIP index with a lightweight iDistance.
+
+    Use :meth:`build`; the constructor wires pre-computed pieces together.
+    """
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        params: ProMIPSParams,
+        projection: StableProjection,
+        projected: np.ndarray,
+        groups: BinaryCodeGroups,
+        quickprobe: QuickProbe,
+        ring: RingIDistance,
+        orig_store: VectorStore,
+        proj_store: VectorStore,
+    ) -> None:
+        self._data = data
+        self.params = params
+        self.n, self.dim = data.shape
+        self.projection = projection
+        self._projected = projected
+        self.m = projection.proj_dim
+        self.groups = groups
+        self.quickprobe = quickprobe
+        self.ring = ring
+        self.orig_store = orig_store
+        self.proj_store = proj_store
+
+        self._norm_sq = np.einsum("ij,ij->i", data, data)
+        self.max_norm_sq = float(self._norm_sq.max())
+        self._chi2 = quickprobe.chi2
+
+    # ------------------------------------------------------------------ build
+
+    @classmethod
+    def build(
+        cls,
+        data: np.ndarray,
+        params: ProMIPSParams | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> "ProMIPS":
+        """Run the pre-process of Fig. 2 and return a ready index.
+
+        Args:
+            data: ``(n, d)`` dataset; must be finite, ``n >= 1``.
+            params: build parameters; defaults to :class:`ProMIPSParams`.
+            rng: generator or seed for projections and k-means.
+        """
+        params = params or ProMIPSParams()
+        if not isinstance(rng, np.random.Generator):
+            rng = np.random.default_rng(rng)
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2 or data.shape[0] == 0:
+            raise ValueError(f"data must be a non-empty (n, d) array, got {data.shape}")
+        if not np.all(np.isfinite(data)):
+            raise ValueError("data contains non-finite values")
+
+        n, d = data.shape
+        m = params.m if params.m is not None else optimized_projection_dim(n)
+        params = replace(params, m=m)
+
+        projection = StableProjection(d, m, rng)
+        projected = projection.project(data)
+        l1_norms = np.abs(data).sum(axis=1)
+        groups = BinaryCodeGroups(projected, l1_norms)
+        quickprobe = QuickProbe(groups)
+        ring = RingIDistance(
+            projected,
+            kp=params.kp,
+            n_key=params.n_key,
+            ksp=params.ksp,
+            rng=rng,
+            epsilon=params.epsilon,
+            order=params.tree_order,
+        )
+        orig_store = VectorStore(
+            data, params.page_size, layout_order=ring.layout_order, label="promips-orig"
+        )
+        proj_store = VectorStore(
+            projected, params.page_size, layout_order=ring.layout_order, label="promips-proj"
+        )
+        index = cls(
+            data, params, projection, projected, groups, quickprobe, ring,
+            orig_store, proj_store,
+        )
+        index._l1_norms = l1_norms
+        return index
+
+    # ------------------------------------------------------------------- size
+
+    def index_size_bytes(self) -> int:
+        """Everything a query needs besides the original data file:
+
+        the projected points organised on disk, the Quick-Probe group
+        summaries (Algorithm 2 only touches each group's min-ℓ1
+        representative), the projection matrix, and the iDistance
+        structures.  The per-point binary codes and 1-norms of §VII are
+        pre-processing intermediates folded into the group summaries.
+        """
+        return (
+            self.proj_store.size_bytes
+            + self.groups.summary_size_bytes()
+            + self.projection.size_bytes()
+            + self.ring.index_size_bytes(self.params.page_size)
+        )
+
+    # ----------------------------------------------------------------- search
+
+    def _verify(
+        self,
+        topk: _TopK,
+        ids: np.ndarray,
+        dists: np.ndarray,
+        query: np.ndarray,
+        orig_reader,
+        c: float,
+        p: float,
+        q_norm_sq: float,
+    ) -> tuple[str | None, int]:
+        """Verify candidates in ascending projected-distance order.
+
+        This is the incremental traversal of Theorem 1/2: fetch the original
+        point (charging pages), update the running top-k, then test the
+        stopping conditions with the *updated* k-th best.  Condition B is
+        evaluated through its equivalent O(1) form
+        ``dis²(P(oi), P(q)) ≥ Ψm⁻¹(p) · denom`` — the CDF comparison
+        ``Ψm(dis²/denom) ≥ p`` inverted once through the cached quantile —
+        so no per-candidate CDF evaluation is needed.
+
+        Returns ``(fired_condition, points_verified)`` where
+        ``fired_condition`` is ``"condition_a"``, ``"condition_b"`` or None.
+
+        Points are fetched in small chunks (one batched, page-coalesced read
+        per chunk — the disk would serve whole pages anyway) and the
+        condition arithmetic is inlined: Condition A reduces to
+        ``ip_k ≥ c·(‖oM‖² + ‖q‖²)/2`` and Condition B to
+        ``dis² ≥ Ψm⁻¹(p)·(‖oM‖² + ‖q‖² − 2·ip_k/c)``.
+        """
+        quantile = self._chi2.ppf(p)
+        base = self.max_norm_sq + q_norm_sq
+        cond_a_threshold = 0.5 * c * base
+        verified = 0
+        chunk = 32
+        for start in range(0, ids.size, chunk):
+            chunk_ids = ids[start : start + chunk]
+            vecs = orig_reader.get_many(chunk_ids)
+            ips = vecs @ query
+            for pid, dist, ip in zip(
+                chunk_ids.tolist(), dists[start : start + chunk].tolist(), ips.tolist()
+            ):
+                verified += 1
+                topk.offer(ip, pid)
+                if not topk.full:
+                    continue
+                kth = topk.kth_ip
+                if kth >= cond_a_threshold:
+                    return "condition_a", verified
+                if dist * dist >= quantile * (base - 2.0 * kth / c):
+                    return "condition_b", verified
+        return None, verified
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int = 1,
+        c: float | None = None,
+        p: float | None = None,
+    ) -> SearchResult:
+        """c-k-AMIP search via MIP-Search-II (Quick-Probe + range search).
+
+        Args:
+            query: ``(d,)`` query vector.
+            k: number of results (c-k-AMIP).
+            c: per-query approximation-ratio override.
+            p: per-query guarantee-probability override.
+        """
+        c = self.params.c if c is None else c
+        p = self.params.p if p is None else p
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        query = validate_query(query, self.dim)
+        k = min(k, self.n)
+
+        q_proj = self.projection.project(query)
+        q_norm_sq = float(query @ query)
+        q_l1 = float(np.abs(query).sum())
+
+        tree_counter = AccessCounter()
+        orig_reader = self.orig_store.reader()
+        proj_reader = self.proj_store.reader()
+
+        # --- Quick-Probe: locate the point fixing the search radius.
+        outcome = self.quickprobe.probe(q_proj, q_l1, c, p)
+        probe_vec = proj_reader.get(outcome.point_id)
+        radius = float(np.linalg.norm(probe_vec - q_proj))
+
+        topk = _TopK(k)
+        expansions = 0
+        total_verified = 0
+
+        # --- first range search at the Quick-Probe radius.  min_radius is
+        # strict, so the -1 sentinel keeps distance-0 (coincident) points in.
+        ids, dists = self.ring.range_search(
+            q_proj, radius, tree_counter, proj_reader, min_radius=-1.0
+        )
+        fired, verified = self._verify(
+            topk, ids, dists, query, orig_reader, c, p, q_norm_sq
+        )
+        total_verified += verified
+
+        # --- compensation loop: extend to r' until a condition fires.  The
+        # paper performs one extension; the loop generalises it to k-AMIP
+        # (fewer than k candidates in range) and guarantees termination by
+        # doubling when r' fails to grow.
+        current_radius = radius
+        while fired is None and total_verified < self.n:
+            guard_ip = topk.kth_ip if topk.full else topk.weakest_ip
+            denominator = guarantee_denominator(self.max_norm_sq, q_norm_sq, guard_ip, c)
+            # Stopping requires a full top-k (the c-k-AMIP conditions are
+            # stated on ok_max); with fewer candidates the radius must grow.
+            if topk.full and condition_b_holds(
+                current_radius**2, denominator, self._chi2, p
+            ):
+                fired = "condition_b"
+                break
+            if math.isinf(denominator):
+                next_radius = max(2.0 * current_radius, self.ring.epsilon)
+            else:
+                next_radius = compensation_radius(denominator, self._chi2, p)
+                if next_radius <= current_radius:
+                    next_radius = 2.0 * current_radius
+            expansions += 1
+            ids, dists = self.ring.range_search(
+                q_proj, next_radius, tree_counter, proj_reader, min_radius=current_radius
+            )
+            fired, verified = self._verify(
+                topk, ids, dists, query, orig_reader, c, p, q_norm_sq
+            )
+            total_verified += verified
+            current_radius = next_radius
+
+        ids_out, ips_out = topk.result()
+        stats = SearchStats(
+            pages=tree_counter.pages + orig_reader.pages_touched + proj_reader.pages_touched,
+            candidates=total_verified,
+            extras={
+                "probe_radius": radius,
+                "final_radius": current_radius,
+                "expansions": expansions,
+                "probe_passed": outcome.passed,
+                "stopped_by": fired or "exhausted",
+                "condition_a": fired == "condition_a",
+                "groups_examined": outcome.groups_examined,
+            },
+        )
+        return SearchResult(ids=ids_out, scores=ips_out, stats=stats)
+
+    def search_incremental(
+        self,
+        query: np.ndarray,
+        k: int = 1,
+        c: float | None = None,
+        p: float | None = None,
+    ) -> SearchResult:
+        """c-k-AMIP search via MIP-Search-I (Algorithm 1).
+
+        Performs an incremental NN search in the projected space and tests
+        Conditions A and B on every returned point.  Kept as the reference
+        the paper improves on; the ablation benchmark compares it against
+        :meth:`search`.
+        """
+        c = self.params.c if c is None else c
+        p = self.params.p if p is None else p
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        query = validate_query(query, self.dim)
+        k = min(k, self.n)
+
+        q_proj = self.projection.project(query)
+        q_norm_sq = float(query @ query)
+
+        tree_counter = AccessCounter()
+        orig_reader = self.orig_store.reader()
+        proj_reader = self.proj_store.reader()
+
+        topk = _TopK(k)
+        verified = 0
+        stopped_by = "exhausted"
+        for pid, dist in self.ring.knn_iterate(q_proj, tree_counter, proj_reader):
+            vec = orig_reader.get(pid)
+            ip = float(vec @ query)
+            verified += 1
+            topk.offer(ip, pid)
+            if not topk.full:
+                continue
+            if condition_a_holds(self.max_norm_sq, q_norm_sq, topk.kth_ip, c):
+                stopped_by = "condition_a"
+                break
+            denominator = guarantee_denominator(
+                self.max_norm_sq, q_norm_sq, topk.kth_ip, c
+            )
+            if condition_b_holds(dist * dist, denominator, self._chi2, p):
+                stopped_by = "condition_b"
+                break
+
+        ids_out, ips_out = topk.result()
+        stats = SearchStats(
+            pages=tree_counter.pages + orig_reader.pages_touched + proj_reader.pages_touched,
+            candidates=verified,
+            extras={"stopped_by": stopped_by},
+        )
+        return SearchResult(ids=ids_out, scores=ips_out, stats=stats)
+
+    def __repr__(self) -> str:
+        return (
+            f"ProMIPS(n={self.n}, d={self.dim}, m={self.m}, kp={self.ring.kp}, "
+            f"n_key={self.params.n_key}, ksp={self.params.ksp})"
+        )

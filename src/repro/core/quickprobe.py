@@ -1,0 +1,122 @@
+"""Quick-Probe (Algorithm 2, §V-A).
+
+Instead of incrementally testing every returned NN point against Condition B,
+Quick-Probe locates — from group summaries alone, without touching the disk —
+a point that is likely to satisfy Condition B, and uses its projected distance
+to the query as the radius of a single range search.
+
+The probe walks the binary-code groups in *ascending* order of their
+Theorem 3 lower bound ``LB``; for each group it evaluates *Test A* on the
+member with the smallest original 1-norm:
+
+    ``Ψm( LB² / (c · (‖o‖₁ + ‖q‖₁)²) ) ≥ p``
+
+The first passing point is returned (nearest group first ⇒ tightest radius).
+If no group passes, the point with the largest recorded test value is the
+fallback — MIP-Search-II then relies on its compensation pass.
+
+``c`` and ``p`` are per-probe arguments (not baked into the structure), so a
+single pre-processed index serves the paper's c- and p-sweeps (Figs. 10/11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.binary_codes import BinaryCodeGroups
+from repro.stats.chi2 import ChiSquare
+
+__all__ = ["ProbeOutcome", "QuickProbe"]
+
+
+@dataclass(frozen=True)
+class ProbeOutcome:
+    """Result of one Quick-Probe invocation.
+
+    Attributes:
+        point_id: the located point ``o`` whose projected distance to the
+            query becomes the range-search radius.
+        test_value: the Test A statistic ``LB²/(c·(‖o‖₁+‖q‖₁)²)`` of that point.
+        passed: whether Test A was satisfied (False ⇒ fallback point; the
+            compensation pass of MIP-Search-II will very likely be needed).
+        groups_examined: how many groups were visited before returning.
+    """
+
+    point_id: int
+    test_value: float
+    passed: bool
+    groups_examined: int
+
+
+class QuickProbe:
+    """Pre-built Quick-Probe over binary-code group summaries."""
+
+    def __init__(self, groups: BinaryCodeGroups) -> None:
+        self._groups = groups
+        self._chi2 = ChiSquare(groups.m)
+
+    @property
+    def chi2(self) -> ChiSquare:
+        return self._chi2
+
+    @property
+    def n_groups(self) -> int:
+        return self._groups.n_groups
+
+    def probe(
+        self, query_projected: np.ndarray, query_l1: float, c: float, p: float
+    ) -> ProbeOutcome:
+        """Run Algorithm 2 for one query.
+
+        Args:
+            query_projected: ``P(q)``, shape ``(m,)``.
+            query_l1: ``‖q‖₁`` of the original query.
+            c: approximation ratio (0 < c < 1).
+            p: guaranteed probability (0 < p < 1).
+
+        Returns:
+            The located point (Test A pass) or the best fallback.
+        """
+        if not 0.0 < c < 1.0:
+            raise ValueError(f"approximation ratio must satisfy 0 < c < 1, got {c}")
+        if not 0.0 < p < 1.0:
+            raise ValueError(f"guaranteed probability must satisfy 0 < p < 1, got {p}")
+        if query_l1 < 0:
+            raise ValueError(f"query_l1 must be non-negative, got {query_l1}")
+
+        # Test A is a monotone comparison: Ψm(v) ≥ p  ⇔  v ≥ Ψm⁻¹(p).
+        threshold = self._chi2.ppf(p)
+        lbs = self._groups.lower_bounds(query_projected)
+        order = np.argsort(lbs, kind="stable")
+
+        # Test A value of every group's min-ℓ1 representative; examined in
+        # ascending-LB order to honour Algorithm 2 (nearest group first ⇒
+        # the tightest admissible search radius).
+        denominators = c * (self._groups.min_l1 + query_l1) ** 2
+        with np.errstate(divide="ignore"):
+            values = np.where(denominators > 0.0, lbs**2 / denominators, np.inf)
+
+        best_value = -np.inf
+        best_group = int(order[0])
+        examined = 0
+        for g in order.tolist():
+            examined += 1
+            value = float(values[g])
+            if value >= threshold:
+                return ProbeOutcome(
+                    point_id=int(self._groups.min_l1_ids[g]),
+                    test_value=value,
+                    passed=True,
+                    groups_examined=examined,
+                )
+            if value >= best_value:
+                best_value = value
+                best_group = g
+        return ProbeOutcome(
+            point_id=int(self._groups.min_l1_ids[best_group]),
+            test_value=best_value,
+            passed=False,
+            groups_examined=examined,
+        )

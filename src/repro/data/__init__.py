@@ -1,0 +1,21 @@
+"""Synthetic analogues of the paper's evaluation datasets (Table III)."""
+
+from repro.data.datasets import DATASETS, Dataset, DatasetSpec, load_dataset, table3_rows
+from repro.data.synthetic import (
+    make_latent_factor,
+    make_p53_like,
+    make_sift_like,
+    sample_queries,
+)
+
+__all__ = [
+    "DATASETS",
+    "Dataset",
+    "DatasetSpec",
+    "load_dataset",
+    "table3_rows",
+    "make_latent_factor",
+    "make_p53_like",
+    "make_sift_like",
+    "sample_queries",
+]

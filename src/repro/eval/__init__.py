@@ -1,0 +1,30 @@
+"""Evaluation harness: metrics, ground truth, experiment runner, reporting."""
+
+from repro.eval.ground_truth import GroundTruth
+from repro.eval.harness import (
+    PAGE_LATENCY_SECONDS,
+    BuildReport,
+    MethodRegistry,
+    QueryReport,
+    build_method,
+    default_registry,
+    run_method,
+)
+from repro.eval.metrics import guarantee_success, overall_ratio, recall
+from repro.eval.reporting import format_series, format_table
+
+__all__ = [
+    "GroundTruth",
+    "PAGE_LATENCY_SECONDS",
+    "BuildReport",
+    "MethodRegistry",
+    "QueryReport",
+    "build_method",
+    "default_registry",
+    "run_method",
+    "guarantee_success",
+    "overall_ratio",
+    "recall",
+    "format_series",
+    "format_table",
+]

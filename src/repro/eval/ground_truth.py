@@ -1,0 +1,68 @@
+"""Exact top-k ground truth with blocked evaluation and caching."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["GroundTruth"]
+
+
+class GroundTruth:
+    """Exact MIP answers for a fixed dataset/query workload.
+
+    Computes all queries' exact top-``k_max`` in one blocked pass (memory
+    stays bounded for big datasets) and serves per-query prefixes from the
+    cache.
+
+    Args:
+        data: ``(n, d)`` dataset.
+        queries: ``(n_q, d)`` queries.
+        k_max: largest k any experiment will request (paper sweeps to 100).
+        block: dataset rows per matmul block.
+    """
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        queries: np.ndarray,
+        k_max: int = 100,
+        block: int = 16384,
+    ) -> None:
+        data = np.asarray(data, dtype=np.float64)
+        queries = np.asarray(queries, dtype=np.float64)
+        if data.ndim != 2 or queries.ndim != 2:
+            raise ValueError("data and queries must be 2-D arrays")
+        if data.shape[1] != queries.shape[1]:
+            raise ValueError(
+                f"dimension mismatch: data {data.shape[1]} vs queries {queries.shape[1]}"
+            )
+        n, n_q = data.shape[0], queries.shape[0]
+        k_max = min(k_max, n)
+        self.k_max = k_max
+        self.n_queries = n_q
+
+        top_ids = np.zeros((n_q, 0), dtype=np.int64)
+        top_ips = np.zeros((n_q, 0), dtype=np.float64)
+        for start in range(0, n, block):
+            chunk = data[start : start + block]
+            ips = queries @ chunk.T  # (n_q, chunk)
+            ids = np.arange(start, start + chunk.shape[0], dtype=np.int64)
+            cand_ips = np.hstack([top_ips, ips])
+            cand_ids = np.hstack([top_ids, np.broadcast_to(ids, ips.shape)])
+            keep = min(k_max, cand_ips.shape[1])
+            part = np.argpartition(-cand_ips, keep - 1, axis=1)[:, :keep]
+            rows = np.arange(n_q)[:, None]
+            top_ips = cand_ips[rows, part]
+            top_ids = cand_ids[rows, part]
+        order = np.lexsort((top_ids, -top_ips), axis=1)
+        rows = np.arange(n_q)[:, None]
+        self._ids = top_ids[rows, order]
+        self._ips = top_ips[rows, order]
+
+    def topk(self, query_index: int, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Exact ``(ids, inner_products)`` of query ``query_index`` at ``k``."""
+        if not 0 <= query_index < self.n_queries:
+            raise IndexError(f"query_index {query_index} out of range")
+        if not 1 <= k <= self.k_max:
+            raise ValueError(f"k must be in [1, {self.k_max}], got {k}")
+        return self._ids[query_index, :k], self._ips[query_index, :k]

@@ -1,0 +1,200 @@
+"""Experiment harness regenerating the paper's figures and tables.
+
+The harness owns the full §VIII protocol: build each method once per
+dataset, run the query workload, and aggregate the §VIII-A-3 metrics
+(overall ratio, recall, page access, CPU time, total time).  "Total time"
+adds a simulated I/O cost per page on top of the measured CPU time, which is
+how the paper's total-time plots are dominated by page accesses.
+
+Benchmarks call :func:`run_method` / :func:`build_method` directly; the
+:class:`MethodRegistry` maps the paper's method names to constructors so
+every bench names methods exactly as the figures do ("ProMIPS", "H2-ALSH",
+"Range-LSH", "PQ-Based").
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.api import MIPSIndex
+from repro.baselines.exact import ExactMIPS
+from repro.baselines.h2alsh import H2ALSH
+from repro.baselines.pq import PQBasedMIPS
+from repro.baselines.rangelsh import RangeLSH
+from repro.core.promips import ProMIPS, ProMIPSParams
+from repro.data.datasets import Dataset
+from repro.eval.ground_truth import GroundTruth
+from repro.eval.metrics import overall_ratio, recall
+
+__all__ = [
+    "PAGE_LATENCY_SECONDS",
+    "BuildReport",
+    "QueryReport",
+    "MethodRegistry",
+    "build_method",
+    "run_method",
+    "default_registry",
+]
+
+# Simulated cost of fetching one 4KB page from spinning disk (~0.1 ms keeps
+# the CPU-vs-IO balance of the paper's commodity-ECS testbed).
+PAGE_LATENCY_SECONDS = 1e-4
+
+
+@dataclass
+class BuildReport:
+    """Outcome of building one method on one dataset."""
+
+    method: str
+    dataset: str
+    build_seconds: float
+    index_bytes: int
+
+    @property
+    def index_mb(self) -> float:
+        return self.index_bytes / 2**20
+
+
+@dataclass
+class QueryReport:
+    """Aggregated query metrics for one (method, dataset, k, c, p) cell."""
+
+    method: str
+    dataset: str
+    k: int
+    overall_ratio: float
+    recall: float
+    pages: float
+    cpu_ms: float
+    total_ms: float
+    candidates: float
+    extras: dict = field(default_factory=dict)
+
+
+class MethodRegistry:
+    """Name → constructor map; constructors take ``(dataset, seed)``."""
+
+    def __init__(self) -> None:
+        self._builders: dict[str, Callable[[Dataset, int], MIPSIndex]] = {}
+
+    def register(self, name: str, builder: Callable[[Dataset, int], MIPSIndex]) -> None:
+        self._builders[name] = builder
+
+    def names(self) -> list[str]:
+        return list(self._builders)
+
+    def build(self, name: str, dataset: Dataset, seed: int = 1) -> MIPSIndex:
+        if name not in self._builders:
+            raise KeyError(f"unknown method {name!r}; known: {self.names()}")
+        return self._builders[name](dataset, seed)
+
+
+def default_registry(
+    c: float = 0.9,
+    p: float = 0.5,
+    promips_params: ProMIPSParams | None = None,
+) -> MethodRegistry:
+    """The four methods of the paper under its §VIII-A-4 defaults.
+
+    PQ's training-heavy knobs scale with the dataset so that simulated builds
+    stay minutes-free while preserving the paper's 16-subspace / 16-probe
+    configuration.
+    """
+    registry = MethodRegistry()
+
+    def build_promips(ds: Dataset, seed: int) -> MIPSIndex:
+        params = promips_params or ProMIPSParams(c=c, p=p, page_size=ds.page_size)
+        return ProMIPS.build(ds.data, params, rng=seed)
+
+    def build_h2alsh(ds: Dataset, seed: int) -> MIPSIndex:
+        return H2ALSH(ds.data, rng=seed, c=c, page_size=ds.page_size)
+
+    def build_rangelsh(ds: Dataset, seed: int) -> MIPSIndex:
+        return RangeLSH(ds.data, rng=seed, c=c, page_size=ds.page_size)
+
+    def build_pq(ds: Dataset, seed: int) -> MIPSIndex:
+        n = ds.data.shape[0]
+        n_coarse = int(np.clip(n // 256, 8, 128))
+        # Let typical cells train their own rotation + codebooks (the LOPQ
+        # configuration of the paper); this is what makes PQ the heaviest
+        # index in Fig. 4 — rotation matrices are d² floats per cell.  The
+        # per-cell codebook size scales with the cell population (256
+        # centroids on a 260-point cell would be one centroid per point).
+        min_local_train = max(64, (n // n_coarse) // 2)
+        n_centroids = int(np.clip((n // n_coarse) // 8, 16, 256))
+        return PQBasedMIPS(
+            ds.data,
+            rng=seed,
+            n_coarse=n_coarse,
+            n_centroids=n_centroids,
+            min_local_train=min_local_train,
+            page_size=ds.page_size,
+        )
+
+    registry.register("ProMIPS", build_promips)
+    registry.register("H2-ALSH", build_h2alsh)
+    registry.register("Range-LSH", build_rangelsh)
+    registry.register("PQ-Based", build_pq)
+    return registry
+
+
+def build_method(
+    registry: MethodRegistry, name: str, dataset: Dataset, seed: int = 1
+) -> tuple[MIPSIndex, BuildReport]:
+    """Build a method and time its pre-process (Fig. 4 numbers)."""
+    start = time.perf_counter()
+    index = registry.build(name, dataset, seed)
+    elapsed = time.perf_counter() - start
+    report = BuildReport(
+        method=name,
+        dataset=dataset.name,
+        build_seconds=elapsed,
+        index_bytes=index.index_size_bytes(),
+    )
+    return index, report
+
+
+def run_method(
+    index: MIPSIndex,
+    dataset: Dataset,
+    ground_truth: GroundTruth,
+    k: int,
+    method: str = "",
+    search_kwargs: dict | None = None,
+    page_latency: float = PAGE_LATENCY_SECONDS,
+) -> QueryReport:
+    """Run every workload query at one ``k`` and aggregate the §VIII metrics."""
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    search_kwargs = search_kwargs or {}
+    ratios: list[float] = []
+    recalls: list[float] = []
+    pages: list[int] = []
+    cpu: list[float] = []
+    candidates: list[int] = []
+    for qi, query in enumerate(dataset.queries):
+        exact_ids, exact_ips = ground_truth.topk(qi, k)
+        start = time.perf_counter()
+        result = index.search(query, k=k, **search_kwargs)
+        cpu.append(time.perf_counter() - start)
+        ratios.append(overall_ratio(result.scores, exact_ips))
+        recalls.append(recall(result.ids, exact_ids))
+        pages.append(result.stats.pages)
+        candidates.append(result.stats.candidates)
+    mean_pages = float(np.mean(pages))
+    mean_cpu = float(np.mean(cpu))
+    return QueryReport(
+        method=method,
+        dataset=dataset.name,
+        k=k,
+        overall_ratio=float(np.mean(ratios)),
+        recall=float(np.mean(recalls)),
+        pages=mean_pages,
+        cpu_ms=mean_cpu * 1e3,
+        total_ms=(mean_cpu + mean_pages * page_latency) * 1e3,
+        candidates=float(np.mean(candidates)),
+    )

@@ -1,0 +1,77 @@
+"""Evaluation metrics of §VIII-A-3.
+
+* **Overall ratio** — ``(1/k) Σ_i ⟨o_i, q⟩ / ⟨o*_i, q⟩`` over ranks ``i``:
+  how close each returned inner product is to the exact one at the same rank.
+* **Recall** — ``t/k`` with ``t`` the number of returned points that belong
+  to the exact top-k set.
+
+Both are per-query quantities in ``[0, 1]``-ish (the ratio can exceed 1 only
+through ties/numerical noise and is clipped); the harness averages them over
+the query workload exactly as the paper's figures do.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["overall_ratio", "recall", "guarantee_success"]
+
+
+def overall_ratio(returned_scores: np.ndarray, exact_scores: np.ndarray) -> float:
+    """Rank-wise inner-product ratio, averaged over the k ranks.
+
+    Args:
+        returned_scores: inner products of the returned points, descending.
+        exact_scores: exact top-k inner products, descending; must be at
+            least as long as ``returned_scores``.
+
+    Missing answers (method returned fewer than k points) count as ratio 0,
+    which penalises under-filled results the way the paper's metric implies.
+    """
+    returned = np.asarray(returned_scores, dtype=np.float64)
+    exact = np.asarray(exact_scores, dtype=np.float64)
+    if exact.size == 0:
+        raise ValueError("exact_scores must be non-empty")
+    if returned.size > exact.size:
+        raise ValueError(
+            f"more returned scores ({returned.size}) than exact ones ({exact.size})"
+        )
+    k = exact.size
+    ratios = np.zeros(k)
+    matched = exact[: returned.size]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        raw = np.where(matched != 0.0, returned / matched, 1.0)
+    # Negative exact scores flip the inequality; a returned score can also
+    # exceed the exact one at its rank (it was found at a better rank) —
+    # clip into [0, 1] so the aggregate stays interpretable.
+    ratios[: returned.size] = np.clip(raw, 0.0, 1.0)
+    return float(ratios.mean())
+
+
+def recall(returned_ids: np.ndarray, exact_ids: np.ndarray) -> float:
+    """``t/k``: fraction of the exact top-k that was returned."""
+    exact_ids = np.asarray(exact_ids)
+    if exact_ids.size == 0:
+        raise ValueError("exact_ids must be non-empty")
+    hit = len(set(np.asarray(returned_ids).tolist()) & set(exact_ids.tolist()))
+    return hit / exact_ids.size
+
+
+def guarantee_success(
+    returned_scores: np.ndarray, exact_scores: np.ndarray, c: float
+) -> float:
+    """Fraction of ranks whose returned score meets the c-AMIP guarantee.
+
+    A rank ``i`` succeeds when ``⟨o_i, q⟩ ≥ c·⟨o*_i, q⟩``.  ProMIPS promises
+    success probability at least ``p`` — the property-style tests and the
+    ablation bench check this directly.
+    """
+    returned = np.asarray(returned_scores, dtype=np.float64)
+    exact = np.asarray(exact_scores, dtype=np.float64)
+    if exact.size == 0:
+        raise ValueError("exact_scores must be non-empty")
+    if returned.size == 0:
+        return 0.0
+    matched = exact[: returned.size]
+    ok = returned >= c * matched - 1e-9 * np.abs(matched)
+    return float(np.sum(ok)) / exact.size

@@ -1,0 +1,20 @@
+"""Statistical substrate: chi-square distribution built from scratch."""
+
+from repro.stats.chi2 import ChiSquare, chi2_cdf, chi2_pdf, chi2_ppf
+from repro.stats.special import (
+    erf,
+    log_gamma,
+    regularized_lower_gamma,
+    std_normal_cdf,
+)
+
+__all__ = [
+    "ChiSquare",
+    "chi2_cdf",
+    "chi2_pdf",
+    "chi2_ppf",
+    "erf",
+    "log_gamma",
+    "regularized_lower_gamma",
+    "std_normal_cdf",
+]

@@ -1,0 +1,19 @@
+"""Disk substrate: paged vector files, page-access accounting, buffer pool."""
+
+from repro.storage.buffer import BufferPool
+from repro.storage.pagefile import (
+    BYTES_PER_COMPONENT,
+    DEFAULT_PAGE_SIZE,
+    AccessCounter,
+    VectorReader,
+    VectorStore,
+)
+
+__all__ = [
+    "AccessCounter",
+    "BufferPool",
+    "BYTES_PER_COMPONENT",
+    "DEFAULT_PAGE_SIZE",
+    "VectorReader",
+    "VectorStore",
+]

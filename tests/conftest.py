@@ -1,0 +1,38 @@
+"""Shared fixtures: small, deterministic datasets reused across test modules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_latent_factor, sample_queries
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20210406)
+
+
+@pytest.fixture(scope="session")
+def latent_small() -> tuple[np.ndarray, np.ndarray]:
+    """A 1200×24 latent-factor dataset with 12 in-dataset queries."""
+    gen = np.random.default_rng(7)
+    items, _ = make_latent_factor(1200, 24, gen)
+    queries, _ = sample_queries(items, 12, gen)
+    return items, queries
+
+
+@pytest.fixture(scope="session")
+def latent_medium() -> tuple[np.ndarray, np.ndarray]:
+    """A 4000×32 latent-factor dataset with 24 in-dataset queries."""
+    gen = np.random.default_rng(11)
+    items, _ = make_latent_factor(4000, 32, gen)
+    queries, _ = sample_queries(items, 24, gen)
+    return items, queries
+
+
+def exact_topk_reference(data: np.ndarray, query: np.ndarray, k: int):
+    """Brute-force reference used throughout the tests."""
+    ips = data @ query
+    order = np.lexsort((np.arange(len(ips)), -ips))[:k]
+    return order, ips[order]

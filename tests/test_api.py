@@ -1,0 +1,59 @@
+"""Tests for repro.api — shared result types and validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import MIPSIndex, SearchResult, SearchStats, validate_query
+from repro.baselines.exact import ExactMIPS
+from repro.core.promips import ProMIPS, ProMIPSParams
+
+
+class TestSearchResult:
+    def test_normalises_dtypes(self):
+        result = SearchResult(
+            ids=[3, 1], scores=[2.5, 1.5], stats=SearchStats()
+        )
+        assert result.ids.dtype == np.int64
+        assert result.scores.dtype == np.float64
+        assert len(result) == 2
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(ValueError):
+            SearchResult(ids=[1, 2], scores=[1.0], stats=SearchStats())
+
+    def test_stats_defaults(self):
+        stats = SearchStats()
+        assert stats.pages == 0
+        assert stats.candidates == 0
+        assert stats.extras == {}
+
+
+class TestValidateQuery:
+    def test_accepts_lists(self):
+        out = validate_query([1, 2, 3], 3)
+        assert out.dtype == np.float64
+
+    def test_rejects_wrong_width(self):
+        with pytest.raises(ValueError):
+            validate_query(np.ones(4), 3)
+
+    def test_rejects_nan_and_inf(self):
+        with pytest.raises(ValueError):
+            validate_query([1.0, np.nan], 2)
+        with pytest.raises(ValueError):
+            validate_query([1.0, np.inf], 2)
+
+    def test_flattens_row_vectors(self):
+        assert validate_query(np.ones((1, 3)), 3).shape == (3,)
+
+
+class TestProtocol:
+    def test_indexes_satisfy_protocol(self):
+        gen = np.random.default_rng(0)
+        data = gen.standard_normal((100, 8))
+        exact = ExactMIPS(data)
+        promips = ProMIPS.build(data, ProMIPSParams(m=4, kp=2, n_key=6, ksp=2), rng=1)
+        assert isinstance(exact, MIPSIndex)
+        assert isinstance(promips, MIPSIndex)

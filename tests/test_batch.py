@@ -1,0 +1,59 @@
+"""Tests for repro.core.batch."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.exact import ExactMIPS
+from repro.core.batch import BatchStats, search_batch
+from repro.core.promips import ProMIPS, ProMIPSParams
+
+
+@pytest.fixture(scope="module")
+def setup(latent_small):
+    data, queries = latent_small
+    index = ProMIPS.build(data, ProMIPSParams(m=5, kp=3, n_key=10, ksp=4), rng=1)
+    return data, queries, index
+
+
+class TestSearchBatch:
+    def test_matches_individual_searches(self, setup):
+        data, queries, index = setup
+        results, _ = search_batch(index, queries[:5], k=8)
+        for q, result in zip(queries[:5], results):
+            single = index.search(q, k=8)
+            assert np.array_equal(result.ids, single.ids)
+
+    def test_stats_aggregation(self, setup):
+        _, queries, index = setup
+        results, stats = search_batch(index, queries, k=5)
+        assert isinstance(stats, BatchStats)
+        assert stats.n_queries == len(queries)
+        pages = [r.stats.pages for r in results]
+        assert stats.mean_pages == pytest.approx(np.mean(pages))
+        assert stats.p95_pages >= stats.mean_pages * 0.5
+        assert stats.total_candidates == sum(r.stats.candidates for r in results)
+
+    def test_kwargs_forwarded(self, setup):
+        _, queries, index = setup
+        _, low = search_batch(index, queries[:4], k=5, p=0.3)
+        _, high = search_batch(index, queries[:4], k=5, p=0.9)
+        assert high.total_candidates >= low.total_candidates
+
+    def test_single_query_promoted_to_batch(self, setup):
+        _, queries, index = setup
+        results, stats = search_batch(index, queries[0], k=3)
+        assert len(results) == 1
+        assert stats.n_queries == 1
+
+    def test_works_with_any_index(self, setup):
+        data, queries, _ = setup
+        exact = ExactMIPS(data)
+        results, stats = search_batch(exact, queries[:3], k=4)
+        assert len(results) == 3
+
+    def test_rejects_empty_batch(self, setup):
+        _, _, index = setup
+        with pytest.raises(ValueError):
+            search_batch(index, np.empty((0, 24)), k=3)

@@ -1,0 +1,52 @@
+"""Tests for repro.storage.buffer — the LRU buffer pool."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.buffer import BufferPool
+
+
+class TestBufferPool:
+    def test_miss_then_hit(self):
+        pool = BufferPool(4)
+        assert pool.access("f", 0) is False
+        assert pool.access("f", 0) is True
+        assert pool.hits == 1
+        assert pool.misses == 1
+
+    def test_capacity_eviction_lru(self):
+        pool = BufferPool(2)
+        pool.access("f", 0)
+        pool.access("f", 1)
+        pool.access("f", 2)  # evicts page 0
+        assert pool.access("f", 0) is False  # was evicted
+        assert len(pool) == 2
+
+    def test_access_refreshes_recency(self):
+        pool = BufferPool(2)
+        pool.access("f", 0)
+        pool.access("f", 1)
+        pool.access("f", 0)  # refresh 0 → 1 is now LRU
+        pool.access("f", 2)  # evicts 1
+        assert pool.access("f", 0) is True
+        assert pool.access("f", 1) is False
+
+    def test_files_are_namespaced(self):
+        pool = BufferPool(4)
+        pool.access("a", 0)
+        assert pool.access("b", 0) is False
+
+    def test_reset_stats(self):
+        pool = BufferPool(2)
+        pool.access("f", 0)
+        pool.access("f", 0)
+        pool.reset_stats()
+        assert pool.hits == 0
+        assert pool.misses == 0
+        # contents survive a stats reset
+        assert pool.access("f", 0) is True
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            BufferPool(0)

@@ -1,0 +1,62 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.dataset == "netflix"
+        assert args.k == 10
+
+    def test_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--dataset", "imagenet"])
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--method", "FAISS"])
+
+
+class TestCommands:
+    def test_compare_runs(self, capsys):
+        rc = main([
+            "compare", "--dataset", "netflix", "--n", "600", "--dim", "16",
+            "--queries", "4", "--k", "5",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ProMIPS" in out and "H2-ALSH" in out and "pages" in out
+
+    def test_sweep_runs(self, capsys):
+        rc = main([
+            "sweep", "--dataset", "sift", "--n", "800", "--dim", "16",
+            "--queries", "4", "--method", "Range-LSH", "--ks", "5,10",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Range-LSH" in out and "recall" in out
+
+    def test_tune_runs(self, capsys):
+        rc = main([
+            "tune", "--dataset", "netflix", "--n", "600", "--dim", "16",
+            "--queries", "4", "--k", "5", "--cs", "0.8,0.9", "--ps", "0.5",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "0.8" in out and "pages" in out
+
+    def test_datasets_runs(self, capsys):
+        rc = main(["datasets", "--n", "300", "--dim", "12"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "17770" in out  # paper profile
+        assert "300" in out    # sim override

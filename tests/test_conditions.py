@@ -1,0 +1,139 @@
+"""Tests for repro.core.conditions — Theorems 1/2 and the compensation radius."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.conditions import (
+    compensation_radius,
+    condition_a_holds,
+    condition_b_holds,
+    guarantee_denominator,
+)
+from repro.stats.chi2 import ChiSquare
+
+
+class TestConditionA:
+    def test_fires_exactly_at_formula_one(self):
+        # ‖oM‖² + ‖q‖² − 2·ip/c ≤ 0  ⇔  ip ≥ c(‖oM‖²+‖q‖²)/2
+        max_norm_sq, q_norm_sq, c = 9.0, 4.0, 0.9
+        threshold = 0.5 * c * (max_norm_sq + q_norm_sq)
+        assert condition_a_holds(max_norm_sq, q_norm_sq, threshold + 1e-9, c)
+        assert not condition_a_holds(max_norm_sq, q_norm_sq, threshold - 1e-6, c)
+
+    def test_theorem1_guarantee_on_real_data(self):
+        """Whenever Condition A holds for a candidate's ip, that candidate is
+        itself a c-AMIP answer (the constructive content of Theorem 1)."""
+        gen = np.random.default_rng(0)
+        data = gen.standard_normal((500, 8))
+        norms_sq = (data**2).sum(axis=1)
+        max_norm_sq = norms_sq.max()
+        c = 0.8
+        for _ in range(50):
+            q = gen.standard_normal(8)
+            ips = data @ q
+            best = ips.max()
+            q_norm_sq = float(q @ q)
+            for ip in ips[gen.choice(500, 30)]:
+                if condition_a_holds(max_norm_sq, q_norm_sq, float(ip), c):
+                    assert ip >= c * best - 1e-9
+
+    def test_no_candidate_never_fires(self):
+        assert not condition_a_holds(1.0, 1.0, -math.inf, 0.9)
+
+    def test_rejects_bad_c(self):
+        for c in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ValueError):
+                condition_a_holds(1.0, 1.0, 1.0, c)
+
+
+class TestDenominator:
+    def test_formula(self):
+        assert guarantee_denominator(9.0, 4.0, 2.0, 0.8) == pytest.approx(
+            9.0 + 4.0 - 2.0 * 2.0 / 0.8
+        )
+
+    def test_infinite_without_candidate(self):
+        assert math.isinf(guarantee_denominator(9.0, 4.0, -math.inf, 0.9))
+
+    def test_negative_when_condition_a_would_fire(self):
+        assert guarantee_denominator(1.0, 1.0, 10.0, 0.9) < 0
+
+    def test_rejects_bad_c(self):
+        with pytest.raises(ValueError):
+            guarantee_denominator(1.0, 1.0, 1.0, 1.5)
+
+
+class TestConditionB:
+    def test_matches_cdf_threshold(self):
+        chi2 = ChiSquare(6)
+        denom = 10.0
+        p = 0.5
+        boundary = chi2.ppf(p) * denom
+        assert condition_b_holds(boundary * 1.001, denom, chi2, p)
+        assert not condition_b_holds(boundary * 0.999, denom, chi2, p)
+
+    def test_true_when_denominator_non_positive(self):
+        chi2 = ChiSquare(4)
+        assert condition_b_holds(0.0, -1.0, chi2, 0.5)
+        assert condition_b_holds(0.0, 0.0, chi2, 0.5)
+
+    def test_false_with_infinite_denominator(self):
+        chi2 = ChiSquare(4)
+        assert not condition_b_holds(1e9, math.inf, chi2, 0.5)
+
+    def test_monotone_in_p(self):
+        chi2 = ChiSquare(5)
+        # Larger p demands a larger projected distance before stopping.
+        dist_sq, denom = 20.0, 6.0
+        fired = [condition_b_holds(dist_sq, denom, chi2, p) for p in (0.3, 0.5, 0.7, 0.9)]
+        # Once False at some p, it must stay False for larger p.
+        seen_false = False
+        for f in fired:
+            if not f:
+                seen_false = True
+            if seen_false:
+                assert not f
+
+    def test_rejects_bad_arguments(self):
+        chi2 = ChiSquare(5)
+        with pytest.raises(ValueError):
+            condition_b_holds(1.0, 1.0, chi2, 0.0)
+        with pytest.raises(ValueError):
+            condition_b_holds(-1.0, 1.0, chi2, 0.5)
+
+
+class TestCompensationRadius:
+    def test_formula(self):
+        chi2 = ChiSquare(6)
+        denom = 8.0
+        r = compensation_radius(denom, chi2, 0.5)
+        assert r == pytest.approx(math.sqrt(chi2.ppf(0.5) * denom))
+
+    def test_zero_for_non_positive_denominator(self):
+        chi2 = ChiSquare(6)
+        assert compensation_radius(-1.0, chi2, 0.5) == 0.0
+        assert compensation_radius(0.0, chi2, 0.5) == 0.0
+
+    def test_satisfies_condition_b_at_radius(self):
+        chi2 = ChiSquare(7)
+        denom = 12.0
+        for p in (0.3, 0.5, 0.9):
+            r = compensation_radius(denom, chi2, p)
+            assert condition_b_holds(r * r * (1 + 1e-9), denom, chi2, p)
+
+    def test_grows_with_p(self):
+        chi2 = ChiSquare(5)
+        radii = [compensation_radius(5.0, chi2, p) for p in (0.3, 0.5, 0.7, 0.9)]
+        assert radii == sorted(radii)
+
+    def test_rejects_infinite_denominator(self):
+        with pytest.raises(ValueError):
+            compensation_radius(math.inf, ChiSquare(4), 0.5)
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            compensation_radius(1.0, ChiSquare(4), 1.0)

@@ -1,0 +1,148 @@
+"""Tests for repro.core.dynamic — insert/delete support (the §I maintenance
+motivation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dynamic import DynamicProMIPS
+from repro.core.promips import ProMIPSParams
+
+from conftest import exact_topk_reference
+
+PARAMS = ProMIPSParams(m=5, kp=3, n_key=12, ksp=4)
+
+
+@pytest.fixture()
+def dyn(latent_small):
+    data, _ = latent_small
+    return data, DynamicProMIPS(data[:800], PARAMS, rng=1)
+
+
+class TestInsert:
+    def test_inserted_point_is_findable(self, dyn):
+        data, index = dyn
+        spike = data[900] * 5.0  # dominant norm → must become the MIP point
+        new_id = index.insert(spike)
+        result = index.search(spike, k=1)
+        assert result.ids[0] == new_id
+
+    def test_ids_are_stable_and_sequential(self, dyn):
+        _, index = dyn
+        a = index.insert(np.ones(24))
+        b = index.insert(np.ones(24) * 2)
+        assert b == a + 1
+
+    def test_delta_scanned_exactly(self, dyn):
+        data, index = dyn
+        for row in data[800:805]:
+            index.insert(row)
+        result = index.search(data[0], k=5)
+        assert result.stats.extras["delta_scanned"] == index.delta_size
+
+    def test_rebuild_triggers_and_absorbs_delta(self, latent_small):
+        data, _ = latent_small
+        index = DynamicProMIPS(data[:400], PARAMS, rng=1, rebuild_threshold=0.05)
+        for row in data[400:440]:  # 10% > 5% threshold
+            index.insert(row)
+        assert index.rebuilds >= 1
+        assert index.delta_size < 40
+        assert index.n_live == 440
+
+    def test_search_quality_with_delta(self, dyn):
+        data, index = dyn
+        for row in data[800:880]:
+            index.insert(row)
+        live = data[:880]
+        ratios = []
+        for q in live[::97]:
+            _, exact_ips = exact_topk_reference(live, q, 5)
+            res = index.search(q, k=5)
+            ratios.append(float(np.mean(res.scores / exact_ips)))
+        assert float(np.mean(ratios)) >= 0.9
+
+    def test_insert_validates_dimension(self, dyn):
+        _, index = dyn
+        with pytest.raises(ValueError):
+            index.insert(np.ones(10))
+
+
+class TestDelete:
+    def test_deleted_point_never_returned(self, dyn):
+        data, index = dyn
+        # Delete the current exact top-1 for a query.
+        q = data[3]
+        top = index.search(q, k=1).ids[0]
+        index.delete(int(top))
+        result = index.search(q, k=5)
+        assert top not in result.ids.tolist()
+
+    def test_delete_of_delta_point(self, dyn):
+        data, index = dyn
+        new_id = index.insert(data[900] * 4.0)
+        index.delete(new_id)
+        result = index.search(data[900], k=3)
+        assert new_id not in result.ids.tolist()
+        assert index.delta_size == 0
+
+    def test_double_delete_rejected(self, dyn):
+        _, index = dyn
+        index.delete(5)
+        with pytest.raises(KeyError):
+            index.delete(5)
+
+    def test_unknown_id_rejected(self, dyn):
+        _, index = dyn
+        with pytest.raises(KeyError):
+            index.delete(10_000)
+
+    def test_n_live_tracks_mutations(self, dyn):
+        data, index = dyn
+        base = index.n_live
+        index.insert(data[900])
+        index.delete(0)
+        assert index.n_live == base
+
+    def test_k_capped_at_live_points(self, latent_small):
+        data, _ = latent_small
+        index = DynamicProMIPS(data[:30], PARAMS, rng=1)
+        for i in range(10):
+            index.delete(i)
+        result = index.search(data[0], k=30)
+        assert len(result) == 20
+
+
+class TestLifecycle:
+    def test_rebuild_preserves_external_ids(self, latent_small):
+        data, _ = latent_small
+        index = DynamicProMIPS(data[:300], PARAMS, rng=1, rebuild_threshold=0.02)
+        spike_id = index.insert(data[500] * 6.0)
+        for row in data[600:620]:
+            index.insert(row)  # forces rebuilds
+        assert index.rebuilds >= 1
+        # After the rebuild the spike lives in the probabilistic index (not
+        # the exact delta buffer), so query with a high guarantee p: an
+        # outlier that is far in projection but huge in inner product may
+        # legitimately be missed at p = 0.5.
+        result = index.search(data[500], k=1, p=0.97)
+        assert result.ids[0] == spike_id
+
+    def test_rejects_bad_threshold(self, latent_small):
+        data, _ = latent_small
+        with pytest.raises(ValueError):
+            DynamicProMIPS(data[:100], PARAMS, rebuild_threshold=0.0)
+
+    def test_search_rejects_bad_k(self, dyn):
+        data, index = dyn
+        with pytest.raises(ValueError):
+            index.search(data[0], k=0)
+
+    def test_repr(self, dyn):
+        assert "DynamicProMIPS" in repr(dyn[1])
+
+    def test_index_size_includes_delta(self, dyn):
+        data, index = dyn
+        before = index.index_size_bytes()
+        index.insert(data[900])
+        assert index.index_size_bytes() > before

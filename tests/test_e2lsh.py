@@ -1,0 +1,85 @@
+"""Tests for repro.baselines.e2lsh."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.e2lsh import E2LSH
+from repro.storage.pagefile import VectorStore
+
+
+@pytest.fixture(scope="module")
+def setup():
+    gen = np.random.default_rng(0)
+    centers = gen.standard_normal((12, 10)) * 6
+    points = centers[gen.integers(12, size=1000)] + 0.4 * gen.standard_normal((1000, 10))
+    index = E2LSH(points, np.random.default_rng(1), n_tables=10, n_bits=6)
+    return points, index
+
+
+class TestBuild:
+    def test_tables_cover_every_point(self, setup):
+        points, index = setup
+        for table in index._tables:
+            total = sum(bucket.size for bucket in table.values())
+            assert total == len(points)
+
+    def test_index_size_counts_all_tables(self, setup):
+        points, index = setup
+        assert index.index_size_bytes() >= index.n_tables * len(points) * 8
+
+    def test_adaptive_bucket_width_positive(self, setup):
+        assert setup[1].bucket_width > 0
+
+    def test_rejects_bad_args(self):
+        gen = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            E2LSH(np.empty((0, 3)), gen)
+        with pytest.raises(ValueError):
+            E2LSH(np.ones((5, 3)), gen, n_tables=0)
+        with pytest.raises(ValueError):
+            E2LSH(np.ones((5, 3)), gen, bucket_width=-1.0)
+
+
+class TestQuery:
+    def test_self_query_collides_with_self(self, setup):
+        points, index = setup
+        for pid in (0, 5, 42):
+            cands = index.candidates(points[pid])
+            assert pid in cands.tolist()
+
+    def test_knn_finds_near_neighbours(self, setup):
+        points, index = setup
+        gen = np.random.default_rng(2)
+        recalls = []
+        for qi in gen.choice(len(points), 10, replace=False):
+            brute = np.linalg.norm(points - points[qi], axis=1)
+            exact = set(np.argsort(brute)[:5].tolist())
+            ids, _, _ = index.knn(points[qi], k=5)
+            recalls.append(len(exact & set(ids.tolist())) / 5)
+        assert float(np.mean(recalls)) >= 0.6
+
+    def test_knn_distances_exact_and_sorted(self, setup):
+        points, index = setup
+        ids, dists, verified = index.knn(points[7], k=5)
+        assert np.all(np.diff(dists) >= 0)
+        for pid, dist in zip(ids, dists):
+            assert dist == pytest.approx(np.linalg.norm(points[pid] - points[7]))
+        assert verified >= len(ids)
+
+    def test_page_accounting(self, setup):
+        points, index = setup
+        store = VectorStore(points, page_size=512)
+        reader = store.reader()
+        index_pages = [0]
+        index.knn(points[0], k=5, reader=reader, index_pages=index_pages)
+        assert index_pages[0] >= index.n_tables  # one probe per table
+        assert reader.pages_touched > 0
+
+    def test_rejects_bad_query(self, setup):
+        _, index = setup
+        with pytest.raises(ValueError):
+            index.candidates(np.ones(3))
+        with pytest.raises(ValueError):
+            index.knn(np.ones(10), k=0)

@@ -1,0 +1,100 @@
+"""Tests for repro.baselines.h2alsh."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.h2alsh import H2ALSH
+
+from conftest import exact_topk_reference
+
+
+@pytest.fixture(scope="module")
+def built(latent_medium):
+    data, queries = latent_medium
+    return data, queries, H2ALSH(data, rng=5, c=0.9)
+
+
+class TestShellPartition:
+    def test_shells_cover_dataset(self, built):
+        data, _, index = built
+        ids = np.concatenate([s.global_ids for s in index.shells])
+        assert sorted(ids.tolist()) == list(range(len(data)))
+
+    def test_shells_descending_max_norm(self, built):
+        _, _, index = built
+        maxima = [s.max_norm for s in index.shells]
+        assert maxima == sorted(maxima, reverse=True)
+
+    def test_shell_norm_ranges(self, built):
+        data, _, index = built
+        norms = np.linalg.norm(data, axis=1)
+        for shell in index.shells:
+            shell_norms = norms[shell.global_ids]
+            assert shell_norms.max() <= shell.max_norm + 1e-9
+
+    def test_min_shell_size_respected(self, built):
+        _, _, index = built
+        for shell in index.shells[:-1]:
+            assert len(shell.global_ids) >= 16
+
+
+class TestSearch:
+    def test_quality(self, built):
+        data, queries, index = built
+        ratios = []
+        for q in queries:
+            _, exact_ips = exact_topk_reference(data, q, 10)
+            result = index.search(q, k=10)
+            ratios.append(float(np.mean(result.scores / exact_ips[: len(result.scores)])))
+        assert float(np.mean(ratios)) >= 0.95
+
+    def test_result_structure(self, built):
+        data, queries, index = built
+        result = index.search(queries[0], k=10)
+        assert len(result) <= 10
+        assert np.all(np.diff(result.scores) <= 1e-12)
+        assert result.stats.pages > 0
+        assert result.stats.candidates > 0
+
+    def test_early_termination_probes_prefix(self, built):
+        _, queries, index = built
+        result = index.search(queries[1], k=5)
+        assert 1 <= result.stats.extras["shells_probed"] <= index.n_shells
+
+    def test_scores_are_true_inner_products(self, built):
+        data, queries, index = built
+        result = index.search(queries[2], k=5)
+        assert np.allclose(result.scores, data[result.ids] @ queries[2])
+
+    def test_rejects_bad_inputs(self, built):
+        data, queries, index = built
+        with pytest.raises(ValueError):
+            index.search(queries[0], k=0)
+        with pytest.raises(ValueError):
+            index.search(np.ones(3), k=1)
+
+    def test_index_size_reflects_hash_tables(self, built):
+        data, _, index = built
+        # Hash tables across shells: n entries of 8 bytes times n_hash — far
+        # more than ProMIPS-style footprints (the paper's Fig. 4 story).
+        assert index.index_size_bytes() >= len(data) * 8
+
+
+class TestConstruction:
+    def test_rejects_bad_params(self, latent_small):
+        data, _ = latent_small
+        with pytest.raises(ValueError):
+            H2ALSH(data, c=1.5)
+        with pytest.raises(ValueError):
+            H2ALSH(data, c0=1.0)
+        with pytest.raises(ValueError):
+            H2ALSH(np.empty((0, 4)))
+
+    def test_seed_reproducibility(self, latent_small):
+        data, queries = latent_small
+        a = H2ALSH(data, rng=3)
+        b = H2ALSH(data, rng=3)
+        ra, rb = a.search(queries[0], k=5), b.search(queries[0], k=5)
+        assert np.array_equal(ra.ids, rb.ids)

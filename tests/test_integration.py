@@ -1,0 +1,128 @@
+"""Cross-module integration tests: the four methods side by side, and the
+paper's qualitative claims checked end-to-end at test scale."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.exact import ExactMIPS
+from repro.baselines.h2alsh import H2ALSH
+from repro.baselines.pq import PQBasedMIPS
+from repro.baselines.rangelsh import RangeLSH
+from repro.core.promips import ProMIPS, ProMIPSParams
+from repro.eval.ground_truth import GroundTruth
+from repro.eval.metrics import overall_ratio, recall
+
+
+@pytest.fixture(scope="module")
+def world(latent_medium):
+    data, queries = latent_medium
+    gt = GroundTruth(data, queries, k_max=20)
+    indexes = {
+        "exact": ExactMIPS(data),
+        "promips": ProMIPS.build(data, ProMIPSParams(), rng=2),
+        "h2alsh": H2ALSH(data, rng=2),
+        "rangelsh": RangeLSH(data, rng=2),
+        "pq": PQBasedMIPS(data, rng=2, n_coarse=24, n_centroids=32,
+                          min_local_train=150, n_subspaces=8),
+    }
+    return data, queries, gt, indexes
+
+
+class TestAllMethods:
+    def test_ids_within_dataset(self, world):
+        data, queries, _, indexes = world
+        for name, index in indexes.items():
+            result = index.search(queries[0], k=10)
+            assert np.all(result.ids >= 0), name
+            assert np.all(result.ids < len(data)), name
+
+    def test_no_duplicate_ids(self, world):
+        _, queries, _, indexes = world
+        for name, index in indexes.items():
+            result = index.search(queries[1], k=10)
+            assert len(set(result.ids.tolist())) == len(result.ids), name
+
+    def test_quality_floor(self, world):
+        _, queries, gt, indexes = world
+        for name, index in indexes.items():
+            ratios = []
+            for qi, q in enumerate(queries):
+                _, exact_ips = gt.topk(qi, 10)
+                ratios.append(overall_ratio(index.search(q, k=10).scores, exact_ips))
+            assert float(np.mean(ratios)) >= 0.9, name
+
+    def test_exact_is_perfect(self, world):
+        _, queries, gt, indexes = world
+        for qi, q in enumerate(queries):
+            exact_ids, exact_ips = gt.topk(qi, 10)
+            result = indexes["exact"].search(q, k=10)
+            assert recall(result.ids, exact_ids) == 1.0
+
+
+class TestPaperClaims:
+    """Qualitative shape of the paper's evaluation, at test scale."""
+
+    def test_promips_beats_full_scan_pages(self, world):
+        """§VIII-D: the searching conditions verify far fewer points than a
+        scan, and the sub-partition layout reads them near-sequentially."""
+        _, queries, _, indexes = world
+        exact_pages = np.mean(
+            [indexes["exact"].search(q, k=10).stats.pages for q in queries]
+        )
+        promips_pages = np.mean(
+            [indexes["promips"].search(q, k=10).stats.pages for q in queries]
+        )
+        assert promips_pages < exact_pages
+
+    def test_promips_fewer_pages_than_h2alsh(self, world):
+        """Fig. 7: hash-table probing plus random verification reads make
+        H2-ALSH the page-heaviest method."""
+        _, queries, _, indexes = world
+        h2 = np.mean([indexes["h2alsh"].search(q, k=10).stats.pages for q in queries])
+        pro = np.mean([indexes["promips"].search(q, k=10).stats.pages for q in queries])
+        assert pro < h2
+
+    def test_promips_lightest_index(self, world):
+        """Fig. 4(a): single B+-tree vs hash tables / rotation matrices."""
+        _, _, _, indexes = world
+        assert indexes["promips"].index_size_bytes() < indexes["h2alsh"].index_size_bytes()
+
+    def test_pages_grow_with_k(self, world):
+        """Fig. 7: more requested answers ⇒ larger verified region."""
+        _, queries, _, indexes = world
+        pro = indexes["promips"]
+        pages_small = np.mean([pro.search(q, k=5).stats.pages for q in queries])
+        pages_large = np.mean([pro.search(q, k=50).stats.pages for q in queries])
+        assert pages_large >= pages_small
+
+    def test_accuracy_grows_with_p(self, world):
+        """Fig. 11: higher guarantee probability ⇒ higher overall ratio and
+        more page accesses."""
+        _, queries, gt, indexes = world
+        pro = indexes["promips"]
+        stats = {}
+        for p in (0.3, 0.9):
+            ratios, pages = [], []
+            for qi, q in enumerate(queries):
+                _, exact_ips = gt.topk(qi, 10)
+                res = pro.search(q, k=10, p=p)
+                ratios.append(overall_ratio(res.scores, exact_ips))
+                pages.append(res.stats.pages)
+            stats[p] = (np.mean(ratios), np.mean(pages))
+        assert stats[0.9][0] >= stats[0.3][0] - 1e-6
+        assert stats[0.9][1] >= stats[0.3][1]
+
+    def test_ratio_stays_above_c(self, world):
+        """Fig. 10: the measured overall ratio clears the approximation
+        ratio c for every tested c."""
+        _, queries, gt, indexes = world
+        pro = indexes["promips"]
+        for c in (0.7, 0.8, 0.9):
+            ratios = []
+            for qi, q in enumerate(queries):
+                _, exact_ips = gt.topk(qi, 10)
+                res = pro.search(q, k=10, c=c)
+                ratios.append(overall_ratio(res.scores, exact_ips))
+            assert float(np.mean(ratios)) >= c

@@ -1,0 +1,91 @@
+"""Tests for repro.eval.metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.eval.metrics import guarantee_success, overall_ratio, recall
+
+
+class TestOverallRatio:
+    def test_perfect_answer(self):
+        exact = np.array([10.0, 8.0, 6.0])
+        assert overall_ratio(exact, exact) == pytest.approx(1.0)
+
+    def test_partial_quality(self):
+        returned = np.array([9.0, 8.0, 3.0])
+        exact = np.array([10.0, 8.0, 6.0])
+        assert overall_ratio(returned, exact) == pytest.approx((0.9 + 1.0 + 0.5) / 3)
+
+    def test_missing_answers_count_zero(self):
+        returned = np.array([10.0])
+        exact = np.array([10.0, 8.0])
+        assert overall_ratio(returned, exact) == pytest.approx(0.5)
+
+    def test_clipped_to_unit(self):
+        # Numerical ties can put a returned score microscopically above the
+        # exact one; the ratio must not exceed 1.
+        returned = np.array([10.0 + 1e-12])
+        exact = np.array([10.0])
+        assert overall_ratio(returned, exact) <= 1.0
+
+    def test_zero_exact_score(self):
+        assert overall_ratio(np.array([0.0]), np.array([0.0])) == pytest.approx(1.0)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            overall_ratio(np.array([1.0, 2.0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            overall_ratio(np.array([1.0]), np.array([]))
+
+    @given(
+        arrays(np.float64, 5, elements=st.floats(0.1, 100)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bounded(self, exact_raw):
+        exact = np.sort(exact_raw)[::-1]
+        returned = exact * 0.9
+        value = overall_ratio(returned, exact)
+        assert 0.0 <= value <= 1.0
+
+
+class TestRecall:
+    def test_full_recall(self):
+        assert recall(np.array([1, 2, 3]), np.array([3, 2, 1])) == 1.0
+
+    def test_partial_recall(self):
+        assert recall(np.array([1, 9, 8]), np.array([1, 2, 3])) == pytest.approx(1 / 3)
+
+    def test_empty_returned(self):
+        assert recall(np.array([]), np.array([1, 2])) == 0.0
+
+    def test_rejects_empty_exact(self):
+        with pytest.raises(ValueError):
+            recall(np.array([1]), np.array([]))
+
+
+class TestGuaranteeSuccess:
+    def test_all_meet_guarantee(self):
+        exact = np.array([10.0, 8.0])
+        returned = np.array([9.5, 7.3])
+        assert guarantee_success(returned, exact, 0.9) == 1.0
+
+    def test_partial(self):
+        exact = np.array([10.0, 8.0])
+        returned = np.array([9.5, 5.0])
+        assert guarantee_success(returned, exact, 0.9) == pytest.approx(0.5)
+
+    def test_empty_returned_scores(self):
+        assert guarantee_success(np.array([]), np.array([1.0]), 0.9) == 0.0
+
+    def test_boundary_inclusive(self):
+        exact = np.array([10.0])
+        assert guarantee_success(np.array([9.0]), exact, 0.9) == 1.0
+
+    def test_rejects_empty_exact(self):
+        with pytest.raises(ValueError):
+            guarantee_success(np.array([1.0]), np.array([]), 0.9)

@@ -1,0 +1,56 @@
+"""Tests for repro.core.optimal_dim — the §V-B projected-dimension optimizer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.optimal_dim import optimized_projection_dim, quickprobe_cost
+
+
+class TestQuickprobeCost:
+    def test_formula(self):
+        # f(m) = 2^m (m+1) + n/2^m
+        assert quickprobe_cost(3, 800) == pytest.approx(8 * 4 + 100)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            quickprobe_cost(0, 100)
+        with pytest.raises(ValueError):
+            quickprobe_cost(3, 0)
+
+
+class TestOptimizedDim:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [
+            (17770, 6),      # Netflix  (§VIII-A-4)
+            (31420, 6),      # P53
+            (624961, 8),     # Yahoo
+            (11164866, 10),  # Sift
+        ],
+    )
+    def test_reproduces_paper_values(self, n, expected):
+        assert optimized_projection_dim(n) == expected
+
+    def test_is_global_minimum(self):
+        for n in (1000, 50000, 3_000_000):
+            m = optimized_projection_dim(n)
+            best = quickprobe_cost(m, n)
+            for other in range(2, 25):
+                assert best <= quickprobe_cost(other, n) + 1e-9
+
+    def test_monotone_in_n(self):
+        ms = [optimized_projection_dim(n) for n in (100, 10_000, 1_000_000, 100_000_000)]
+        assert ms == sorted(ms)
+
+    def test_respects_bounds(self):
+        assert optimized_projection_dim(10, m_min=4, m_max=6) in (4, 5, 6)
+        assert optimized_projection_dim(10**12, m_min=2, m_max=8) == 8
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            optimized_projection_dim(0)
+        with pytest.raises(ValueError):
+            optimized_projection_dim(100, m_min=5, m_max=3)
+        with pytest.raises(ValueError):
+            optimized_projection_dim(100, m_min=0)

@@ -1,0 +1,71 @@
+"""Tests for repro.core.persist — save/load of a built index."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.persist import load_index, save_index
+from repro.core.promips import ProMIPS, ProMIPSParams
+
+
+@pytest.fixture(scope="module")
+def saved(tmp_path_factory, latent_small):
+    data, queries = latent_small
+    index = ProMIPS.build(
+        data, ProMIPSParams(m=5, kp=3, n_key=10, ksp=4, c=0.85, p=0.6), rng=7
+    )
+    path = save_index(index, tmp_path_factory.mktemp("idx") / "promips")
+    return data, queries, index, path
+
+
+class TestRoundtrip:
+    def test_suffix_enforced(self, saved):
+        *_, path = saved
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_identical_search_results(self, saved):
+        data, queries, original, path = saved
+        restored = load_index(path)
+        for q in queries[:6]:
+            a = original.search(q, k=10)
+            b = restored.search(q, k=10)
+            assert np.array_equal(a.ids, b.ids)
+            assert np.allclose(a.scores, b.scores)
+            assert a.stats.pages == b.stats.pages
+            assert a.stats.candidates == b.stats.candidates
+
+    def test_params_restored(self, saved):
+        *_, original, path = saved[1:]
+        restored = load_index(path)
+        assert restored.params == original.params
+        assert restored.m == original.m
+
+    def test_ring_geometry_restored(self, saved):
+        data, _, original, path = saved
+        restored = load_index(path)
+        assert np.allclose(restored.ring.centers, original.ring.centers)
+        assert restored.ring.epsilon == original.ring.epsilon
+        assert restored.ring.C == original.ring.C
+        assert restored.ring.n_subpartitions == original.ring.n_subpartitions
+        assert np.array_equal(restored.ring.layout_order, original.ring.layout_order)
+
+    def test_incremental_search_also_matches(self, saved):
+        data, queries, original, path = saved
+        restored = load_index(path)
+        a = original.search_incremental(queries[0], k=5)
+        b = restored.search_incremental(queries[0], k=5)
+        assert np.array_equal(a.ids, b.ids)
+
+    def test_rejects_future_format(self, saved, tmp_path):
+        import json
+        *_, path = saved
+        blob = dict(np.load(path))
+        meta = json.loads(bytes(blob["meta"].tobytes()).decode())
+        meta["format_version"] = 999
+        blob["meta"] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+        bad = tmp_path / "bad.npz"
+        np.savez_compressed(bad, **blob)
+        with pytest.raises(ValueError):
+            load_index(bad)

@@ -1,0 +1,92 @@
+"""Tests for repro.core.projection — 2-stable random projections (Lemma 1/2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.stats import chi2 as scipy_chi2
+
+from repro.core.projection import StableProjection
+
+
+class TestBasics:
+    def test_shapes(self):
+        proj = StableProjection(10, 4, np.random.default_rng(0))
+        assert proj.project(np.ones(10)).shape == (4,)
+        assert proj.project(np.ones((7, 10))).shape == (7, 4)
+        assert proj.matrix.shape == (4, 10)
+
+    def test_linearity(self):
+        gen = np.random.default_rng(1)
+        proj = StableProjection(8, 3, gen)
+        x, y = gen.standard_normal(8), gen.standard_normal(8)
+        lhs = proj.project(2.0 * x - 3.0 * y)
+        rhs = 2.0 * proj.project(x) - 3.0 * proj.project(y)
+        assert np.allclose(lhs, rhs)
+
+    def test_determinism_with_seed(self):
+        a = StableProjection(6, 3, np.random.default_rng(42))
+        b = StableProjection(6, 3, np.random.default_rng(42))
+        assert np.array_equal(a.matrix, b.matrix)
+
+    def test_rejects_bad_dims(self):
+        gen = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            StableProjection(0, 3, gen)
+        with pytest.raises(ValueError):
+            StableProjection(5, 0, gen)
+
+    def test_rejects_wrong_width(self):
+        proj = StableProjection(5, 2, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            proj.project(np.ones(6))
+
+    def test_size_bytes(self):
+        proj = StableProjection(10, 4, np.random.default_rng(0))
+        assert proj.size_bytes() == 4 * 10 * 8
+
+
+class TestLemma2:
+    """``dis²(P(o), P(q)) / dis²(o, q)`` must follow χ²(m)."""
+
+    def test_ratio_moments(self):
+        gen = np.random.default_rng(7)
+        m, d, trials = 6, 40, 4000
+        o = gen.standard_normal(d)
+        q = gen.standard_normal(d)
+        dist_sq = float(((o - q) ** 2).sum())
+        ratios = np.empty(trials)
+        for t in range(trials):
+            proj = StableProjection(d, m, gen)
+            diff = proj.project(o) - proj.project(q)
+            ratios[t] = float(diff @ diff) / dist_sq
+        # χ²(m) has mean m and variance 2m.
+        assert ratios.mean() == pytest.approx(m, rel=0.1)
+        assert ratios.var() == pytest.approx(2 * m, rel=0.2)
+
+    def test_ratio_distribution_ks(self):
+        from scipy.stats import kstest
+
+        gen = np.random.default_rng(8)
+        m, d, trials = 5, 30, 1500
+        o = gen.standard_normal(d)
+        q = gen.standard_normal(d)
+        dist_sq = float(((o - q) ** 2).sum())
+        ratios = np.empty(trials)
+        for t in range(trials):
+            proj = StableProjection(d, m, gen)
+            diff = proj.project(o) - proj.project(q)
+            ratios[t] = float(diff @ diff) / dist_sq
+        stat = kstest(ratios, lambda x: scipy_chi2.cdf(x, m)).pvalue
+        assert stat > 1e-4  # loose: reject only gross distribution mismatch
+
+    def test_single_projection_preserves_expected_ip(self):
+        # E[f(o)·f(q)] over random v is ⟨o, q⟩ (2-stability consequence
+        # used implicitly throughout §IV).
+        gen = np.random.default_rng(9)
+        d, trials = 20, 30000
+        o = gen.standard_normal(d)
+        q = gen.standard_normal(d)
+        vs = gen.standard_normal((trials, d))
+        products = (vs @ o) * (vs @ q)
+        assert products.mean() == pytest.approx(float(o @ q), abs=0.15 * np.linalg.norm(o) * np.linalg.norm(q))

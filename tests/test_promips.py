@@ -1,0 +1,185 @@
+"""Integration tests for the ProMIPS index (Algorithms 1 and 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.promips import ProMIPS, ProMIPSParams
+from repro.eval.metrics import guarantee_success
+
+from conftest import exact_topk_reference
+
+
+@pytest.fixture(scope="module")
+def built(latent_medium):
+    data, queries = latent_medium
+    index = ProMIPS.build(data, ProMIPSParams(c=0.9, p=0.5), rng=3)
+    return data, queries, index
+
+
+class TestBuild:
+    def test_optimizer_selects_m(self, built):
+        data, _, index = built
+        assert index.m >= 2
+        assert index.params.m == index.m
+
+    def test_explicit_m_respected(self, latent_small):
+        data, _ = latent_small
+        index = ProMIPS.build(data, ProMIPSParams(m=7), rng=0)
+        assert index.m == 7
+
+    def test_rejects_bad_data(self):
+        with pytest.raises(ValueError):
+            ProMIPS.build(np.empty((0, 4)))
+        with pytest.raises(ValueError):
+            ProMIPS.build(np.ones(5))
+        bad = np.ones((10, 3))
+        bad[0, 0] = np.nan
+        with pytest.raises(ValueError):
+            ProMIPS.build(bad)
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            ProMIPSParams(c=1.2)
+        with pytest.raises(ValueError):
+            ProMIPSParams(p=0.0)
+        with pytest.raises(ValueError):
+            ProMIPSParams(m=-1)
+        with pytest.raises(ValueError):
+            ProMIPSParams(kp=0)
+
+    def test_index_size_positive_and_small(self, built):
+        data, _, index = built
+        # "Lightweight": far below the raw data footprint.
+        assert 0 < index.index_size_bytes() < data.nbytes
+
+    def test_repr(self, built):
+        assert "ProMIPS" in repr(built[2])
+
+
+class TestSearchBasics:
+    def test_returns_k_sorted_results(self, built):
+        data, queries, index = built
+        result = index.search(queries[0], k=10)
+        assert len(result) == 10
+        assert np.all(np.diff(result.scores) <= 1e-12)
+        assert len(set(result.ids.tolist())) == 10
+
+    def test_scores_are_true_inner_products(self, built):
+        data, queries, index = built
+        result = index.search(queries[1], k=5)
+        expected = data[result.ids] @ queries[1]
+        assert np.allclose(result.scores, expected)
+
+    def test_k_larger_than_n(self, latent_small):
+        data, queries = latent_small
+        index = ProMIPS.build(data[:50], ProMIPSParams(m=4, kp=2, n_key=8, ksp=2), rng=0)
+        result = index.search(queries[0], k=500)
+        assert len(result) == 50
+
+    def test_k_one(self, built):
+        data, queries, index = built
+        result = index.search(queries[2], k=1)
+        assert len(result) == 1
+
+    def test_rejects_bad_inputs(self, built):
+        _, queries, index = built
+        with pytest.raises(ValueError):
+            index.search(queries[0], k=0)
+        with pytest.raises(ValueError):
+            index.search(np.ones(3), k=1)
+        with pytest.raises(ValueError):
+            index.search(np.full(queries.shape[1], np.nan), k=1)
+
+    def test_stats_populated(self, built):
+        data, queries, index = built
+        result = index.search(queries[3], k=10)
+        stats = result.stats
+        assert stats.pages > 0
+        assert 0 < stats.candidates <= len(data)
+        assert stats.extras["probe_radius"] >= 0
+        assert stats.extras["final_radius"] >= stats.extras["probe_radius"] or (
+            stats.extras["expansions"] == 0
+        )
+        assert stats.extras["stopped_by"] in (
+            "condition_a", "condition_b", "exhausted"
+        )
+
+
+class TestGuarantee:
+    """The headline property: P[⟨o,q⟩ ≥ c⟨o*,q⟩] ≥ p per returned rank."""
+
+    @pytest.mark.parametrize("c,p", [(0.9, 0.5), (0.8, 0.5), (0.9, 0.7)])
+    def test_success_rate_meets_p(self, built, c, p):
+        data, queries, index = built
+        successes = []
+        for q in queries:
+            _, exact_ips = exact_topk_reference(data, q, 10)
+            result = index.search(q, k=10, c=c, p=p)
+            successes.append(guarantee_success(result.scores, exact_ips, c))
+        # Mean success over ranks/queries must clear p with slack far beyond
+        # sampling noise (the guarantee is a lower bound; observed values
+        # are typically much higher).
+        assert float(np.mean(successes)) >= p
+
+    def test_high_p_approaches_exact(self, latent_small):
+        data, queries = latent_small
+        index = ProMIPS.build(data, ProMIPSParams(c=0.9, p=0.97), rng=1)
+        ratios = []
+        for q in queries:
+            _, exact_ips = exact_topk_reference(data, q, 5)
+            result = index.search(q, k=5)
+            ratios.append(float(np.mean(result.scores / exact_ips)))
+        assert float(np.mean(ratios)) >= 0.98
+
+    def test_per_query_override_changes_effort(self, built):
+        data, queries, index = built
+        q = queries[4]
+        low = index.search(q, k=10, p=0.3)
+        high = index.search(q, k=10, p=0.9)
+        assert high.stats.candidates >= low.stats.candidates
+
+
+class TestIncrementalSearch:
+    def test_matches_quality_of_range_search(self, built):
+        data, queries, index = built
+        for q in queries[:6]:
+            _, exact_ips = exact_topk_reference(data, q, 10)
+            r1 = index.search(q, k=10)
+            r2 = index.search_incremental(q, k=10)
+            assert guarantee_success(r2.scores, exact_ips, 0.9) >= 0.5
+            assert r2.stats.extras["stopped_by"] in (
+                "condition_a", "condition_b", "exhausted"
+            )
+
+    def test_rejects_bad_k(self, built):
+        _, queries, index = built
+        with pytest.raises(ValueError):
+            index.search_incremental(queries[0], k=-1)
+
+
+class TestDeterminism:
+    def test_same_build_seed_same_results(self, latent_small):
+        data, queries = latent_small
+        a = ProMIPS.build(data, ProMIPSParams(m=5), rng=9)
+        b = ProMIPS.build(data, ProMIPSParams(m=5), rng=9)
+        ra = a.search(queries[0], k=5)
+        rb = b.search(queries[0], k=5)
+        assert np.array_equal(ra.ids, rb.ids)
+        assert ra.stats.pages == rb.stats.pages
+
+
+class TestConditionAPath:
+    def test_self_query_on_dominant_point(self):
+        """A query equal to the max-norm point must trigger Condition A
+        immediately: its self inner product is ‖oM‖² ≥ c(‖oM‖²+‖q‖²)/2."""
+        gen = np.random.default_rng(5)
+        data = gen.standard_normal((400, 12))
+        data[7] *= 10.0  # dominant point
+        index = ProMIPS.build(data, ProMIPSParams(m=4, kp=2, n_key=8, ksp=2), rng=1)
+        result = index.search(data[7], k=1)
+        assert result.ids[0] == 7
+        assert result.stats.extras["stopped_by"] == "condition_a"
+        # Condition A prunes hard: nowhere near a full scan.
+        assert result.stats.candidates < 200

@@ -1,0 +1,109 @@
+"""Tests for repro.baselines.rangelsh."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.rangelsh import RangeLSH
+
+from conftest import exact_topk_reference
+
+
+@pytest.fixture(scope="module")
+def built(latent_medium):
+    data, queries = latent_medium
+    return data, queries, RangeLSH(data, rng=5, c=0.9)
+
+
+class TestSubsets:
+    def test_subsets_partition_dataset(self, built):
+        data, _, index = built
+        ids = np.concatenate(index._subset_ids)
+        assert sorted(ids.tolist()) == list(range(len(data)))
+
+    def test_subsets_are_norm_rank_ranges(self, built):
+        data, _, index = built
+        norms = np.linalg.norm(data, axis=1)
+        # Every norm in subset j must be >= every norm in subset j+1 (up to
+        # ties at the boundary).
+        for a, b in zip(index._subset_ids, index._subset_ids[1:]):
+            assert norms[a].min() >= norms[b].max() - 1e-9
+
+    def test_local_max_norms_recorded(self, built):
+        data, _, index = built
+        norms = np.linalg.norm(data, axis=1)
+        for j, ids in enumerate(index._subset_ids):
+            assert index._subset_max_norm[j] == pytest.approx(norms[ids].max())
+
+    def test_default_part_count(self, built):
+        _, _, index = built
+        assert index.n_parts == 32
+
+
+class TestSearch:
+    def test_quality(self, built):
+        data, queries, index = built
+        ratios, recalls = [], []
+        for q in queries:
+            exact_ids, exact_ips = exact_topk_reference(data, q, 10)
+            result = index.search(q, k=10)
+            ratios.append(float(np.mean(result.scores / exact_ips[: len(result.scores)])))
+            recalls.append(
+                len(set(result.ids.tolist()) & set(exact_ids.tolist())) / 10
+            )
+        assert float(np.mean(ratios)) >= 0.93
+        assert float(np.mean(recalls)) >= 0.6
+
+    def test_budget_respected(self, built):
+        data, queries, index = built
+        result = index.search(queries[0], k=10)
+        budget = max(int(index.candidate_fraction * len(data)), 40)
+        # The last probed bucket may overshoot by its own size; bound loosely.
+        assert result.stats.candidates <= budget + len(data) // index.n_parts + 1
+
+    def test_stats_structure(self, built):
+        _, queries, index = built
+        result = index.search(queries[1], k=5)
+        assert result.stats.pages > 0
+        assert result.stats.extras["buckets_probed"] >= 1
+        assert 1 <= result.stats.extras["subsets_probed"] <= index.n_parts
+
+    def test_scores_sorted_and_exact(self, built):
+        data, queries, index = built
+        result = index.search(queries[2], k=8)
+        assert np.all(np.diff(result.scores) <= 1e-12)
+        assert np.allclose(result.scores, data[result.ids] @ queries[2])
+
+    def test_rejects_bad_inputs(self, built):
+        _, queries, index = built
+        with pytest.raises(ValueError):
+            index.search(queries[0], k=0)
+        with pytest.raises(ValueError):
+            index.search(np.ones(2), k=1)
+
+
+class TestConstruction:
+    def test_index_is_tiny(self, built):
+        data, _, index = built
+        # 16-bit codes: ~2 bytes/point plus hyperplanes.
+        assert index.index_size_bytes() < len(data) * 8
+
+    def test_rejects_bad_params(self, latent_small):
+        data, _ = latent_small
+        with pytest.raises(ValueError):
+            RangeLSH(data, c=0.0)
+        with pytest.raises(ValueError):
+            RangeLSH(data, n_parts=0)
+        with pytest.raises(ValueError):
+            RangeLSH(data, candidate_fraction=0.0)
+        with pytest.raises(ValueError):
+            RangeLSH(np.empty((0, 4)))
+
+    def test_fewer_points_than_parts(self):
+        gen = np.random.default_rng(0)
+        data = gen.standard_normal((10, 4))
+        index = RangeLSH(data, rng=1, n_parts=32)
+        assert index.n_parts <= 10
+        result = index.search(data[0], k=3)
+        assert len(result) == 3

@@ -1,0 +1,94 @@
+"""Tests for repro.baselines.simhash."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.simhash import SimHash, hamming_distance, hamming_to_cosine
+
+
+class TestEncode:
+    def test_code_range(self):
+        sh = SimHash(8, 16, np.random.default_rng(0))
+        codes = sh.encode(np.random.default_rng(1).standard_normal((100, 8)))
+        assert codes.shape == (100,)
+        assert np.all(codes < 2**16)
+
+    def test_single_point(self):
+        sh = SimHash(4, 8, np.random.default_rng(0))
+        code = sh.encode(np.ones(4))
+        assert np.isscalar(code) or code.shape == ()
+
+    def test_deterministic(self):
+        sh = SimHash(6, 12, np.random.default_rng(5))
+        x = np.random.default_rng(6).standard_normal(6)
+        assert sh.encode(x) == sh.encode(x)
+
+    def test_identical_points_share_code(self):
+        sh = SimHash(5, 10, np.random.default_rng(7))
+        x = np.random.default_rng(8).standard_normal(5)
+        assert sh.encode(x) == sh.encode(2.0 * x)  # scale-invariant (signs)
+
+    def test_opposite_points_flip_all_bits(self):
+        sh = SimHash(5, 10, np.random.default_rng(9))
+        x = np.random.default_rng(10).standard_normal(5)
+        h = hamming_distance(np.array([sh.encode(-x)]), int(sh.encode(x)))
+        assert h[0] == 10
+
+    def test_rejects_bad_params(self):
+        gen = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            SimHash(0, 8, gen)
+        with pytest.raises(ValueError):
+            SimHash(4, 0, gen)
+        with pytest.raises(ValueError):
+            SimHash(4, 64, gen)
+
+    def test_rejects_wrong_width(self):
+        sh = SimHash(4, 8, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            sh.encode(np.ones(5))
+
+
+class TestHamming:
+    def test_matches_manual_popcount(self):
+        codes = np.array([0b1010, 0b1111, 0b0000], dtype=np.uint64)
+        out = hamming_distance(codes, 0b1001)
+        assert out.tolist() == [2, 2, 2]
+
+    def test_zero_distance(self):
+        assert hamming_distance(np.array([42], dtype=np.uint64), 42)[0] == 0
+
+
+class TestCosineEstimate:
+    def test_endpoints(self):
+        assert hamming_to_cosine(0, 16) == pytest.approx(1.0)
+        assert hamming_to_cosine(16, 16) == pytest.approx(-1.0)
+        assert hamming_to_cosine(8, 16) == pytest.approx(0.0, abs=1e-12)
+
+    def test_collision_probability_tracks_angle(self):
+        """Pr[bit differs] ≈ θ/π (Charikar) — validated statistically."""
+        gen = np.random.default_rng(11)
+        n_bits = 4096  # many independent hyperplanes → tight estimate
+        sh = SimHash(8, 63, gen)
+        # Build a big batch of independent SimHashes to reach n_bits bits.
+        x = gen.standard_normal(8)
+        for angle_target in (0.25 * np.pi, 0.5 * np.pi):
+            # Construct y at the target angle from x.
+            perp = gen.standard_normal(8)
+            perp -= perp @ x / (x @ x) * x
+            perp /= np.linalg.norm(perp)
+            y = np.cos(angle_target) * x / np.linalg.norm(x) + np.sin(angle_target) * perp
+            diffs = 0
+            total = 0
+            for seed in range(80):
+                shi = SimHash(8, 50, np.random.default_rng(seed))
+                cx, cy = int(shi.encode(x)), int(shi.encode(y))
+                diffs += int(hamming_distance(np.array([cx], dtype=np.uint64), cy)[0])
+                total += 50
+            assert diffs / total == pytest.approx(angle_target / np.pi, abs=0.05)
+
+    def test_size_bytes(self):
+        sh = SimHash(8, 16, np.random.default_rng(0))
+        assert sh.size_bytes() == 16 * 8 * 8

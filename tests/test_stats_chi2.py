@@ -1,0 +1,98 @@
+"""Tests for repro.stats.chi2 — the chi-square CDF and inverse used by the
+probability guarantees."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.stats import chi2 as scipy_chi2
+
+from repro.stats.chi2 import ChiSquare, chi2_cdf, chi2_pdf, chi2_ppf
+
+
+class TestChi2Cdf:
+    @pytest.mark.parametrize("df", [1, 2, 5, 6, 8, 10, 30])
+    @pytest.mark.parametrize("x", [0.01, 0.5, 1.0, 4.0, 10.0, 50.0])
+    def test_matches_scipy(self, df, x):
+        assert chi2_cdf(x, df) == pytest.approx(scipy_chi2.cdf(x, df), abs=1e-10)
+
+    def test_boundaries(self):
+        assert chi2_cdf(0.0, 5) == 0.0
+        assert chi2_cdf(-1.0, 5) == 0.0
+        assert chi2_cdf(float("inf"), 5) == 1.0
+
+    def test_rejects_bad_df(self):
+        with pytest.raises(ValueError):
+            chi2_cdf(1.0, 0)
+        with pytest.raises(ValueError):
+            chi2_cdf(1.0, -3)
+
+    @given(
+        st.integers(min_value=1, max_value=40),
+        st.floats(min_value=0.0, max_value=300.0),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_property_matches_scipy(self, df, x):
+        assert chi2_cdf(x, df) == pytest.approx(scipy_chi2.cdf(x, df), abs=1e-8)
+
+
+class TestChi2Pdf:
+    @pytest.mark.parametrize("df", [1, 3, 6, 12])
+    @pytest.mark.parametrize("x", [0.1, 1.0, 5.0, 20.0])
+    def test_matches_scipy(self, df, x):
+        assert chi2_pdf(x, df) == pytest.approx(scipy_chi2.pdf(x, df), rel=1e-9)
+
+    def test_zero_below_support(self):
+        assert chi2_pdf(-1.0, 4) == 0.0
+        assert chi2_pdf(0.0, 4) == 0.0
+
+
+class TestChi2Ppf:
+    @pytest.mark.parametrize("df", [1, 2, 5, 6, 8, 10])
+    @pytest.mark.parametrize("p", [0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99])
+    def test_matches_scipy(self, df, p):
+        assert chi2_ppf(p, df) == pytest.approx(scipy_chi2.ppf(p, df), rel=1e-6)
+
+    def test_zero_probability(self):
+        assert chi2_ppf(0.0, 7) == 0.0
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            chi2_ppf(1.0, 5)  # p must be < 1
+        with pytest.raises(ValueError):
+            chi2_ppf(-0.1, 5)
+        with pytest.raises(ValueError):
+            chi2_ppf(0.5, 0)
+
+    @given(
+        st.integers(min_value=1, max_value=30),
+        st.floats(min_value=0.001, max_value=0.999),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_with_cdf(self, df, p):
+        x = chi2_ppf(p, df)
+        assert chi2_cdf(x, df) == pytest.approx(p, abs=1e-7)
+
+    def test_monotone_in_p(self):
+        values = [chi2_ppf(p, 6) for p in (0.1, 0.3, 0.5, 0.7, 0.9)]
+        assert values == sorted(values)
+        assert len(set(values)) == len(values)
+
+
+class TestChiSquareClass:
+    def test_wraps_functions(self):
+        dist = ChiSquare(6)
+        assert dist.cdf(5.35) == pytest.approx(chi2_cdf(5.35, 6))
+        assert dist.ppf(0.5) == pytest.approx(chi2_ppf(0.5, 6))
+
+    def test_ppf_cache_stable(self):
+        dist = ChiSquare(8)
+        assert dist.ppf(0.7) == dist.ppf(0.7)
+
+    def test_repr(self):
+        assert "6" in repr(ChiSquare(6))
+
+    def test_rejects_bad_df(self):
+        with pytest.raises(ValueError):
+            ChiSquare(0)

@@ -1,0 +1,106 @@
+"""Tests for repro.stats.special — the from-scratch special functions."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import special as scipy_special
+
+from repro.stats.special import (
+    erf,
+    log_gamma,
+    regularized_lower_gamma,
+    std_normal_cdf,
+)
+
+
+class TestLogGamma:
+    @pytest.mark.parametrize("x", [0.1, 0.5, 1.0, 1.5, 2.0, 5.0, 10.5, 100.0, 1000.0])
+    def test_matches_scipy(self, x):
+        assert log_gamma(x) == pytest.approx(scipy_special.gammaln(x), rel=1e-12)
+
+    def test_integer_factorials(self):
+        # Γ(n) = (n-1)!
+        assert log_gamma(5.0) == pytest.approx(math.log(24.0), rel=1e-12)
+        assert log_gamma(11.0) == pytest.approx(math.log(3628800.0), rel=1e-12)
+
+    def test_half_integer(self):
+        # Γ(1/2) = √π
+        assert log_gamma(0.5) == pytest.approx(0.5 * math.log(math.pi), rel=1e-12)
+
+    @pytest.mark.parametrize("x", [0.0, -1.0, -0.5])
+    def test_rejects_non_positive(self, x):
+        with pytest.raises(ValueError):
+            log_gamma(x)
+
+    @given(st.floats(min_value=0.01, max_value=500.0))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_scipy_property(self, x):
+        assert log_gamma(x) == pytest.approx(scipy_special.gammaln(x), rel=1e-9)
+
+
+class TestRegularizedLowerGamma:
+    @pytest.mark.parametrize(
+        "a,x",
+        [(0.5, 0.1), (0.5, 2.0), (1.0, 1.0), (2.5, 0.5), (3.0, 10.0),
+         (10.0, 5.0), (10.0, 30.0), (50.0, 50.0), (0.1, 0.001)],
+    )
+    def test_matches_scipy(self, a, x):
+        assert regularized_lower_gamma(a, x) == pytest.approx(
+            scipy_special.gammainc(a, x), abs=1e-12, rel=1e-10
+        )
+
+    def test_boundary_values(self):
+        assert regularized_lower_gamma(3.0, 0.0) == 0.0
+        assert regularized_lower_gamma(3.0, math.inf) == 1.0
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            regularized_lower_gamma(0.0, 1.0)
+        with pytest.raises(ValueError):
+            regularized_lower_gamma(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            regularized_lower_gamma(1.0, -0.1)
+
+    @given(
+        st.floats(min_value=0.05, max_value=200.0),
+        st.floats(min_value=0.0, max_value=500.0),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_in_unit_interval_and_matches_scipy(self, a, x):
+        value = regularized_lower_gamma(a, x)
+        assert 0.0 <= value <= 1.0
+        assert value == pytest.approx(scipy_special.gammainc(a, x), abs=1e-9)
+
+    @given(st.floats(min_value=0.5, max_value=50.0))
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_in_x(self, a):
+        xs = [0.0, 0.5, 1.0, 2.0, 5.0, 20.0, 100.0]
+        values = [regularized_lower_gamma(a, x) for x in xs]
+        assert values == sorted(values)
+
+
+class TestErf:
+    @pytest.mark.parametrize("x", [-3.0, -1.0, -0.5, 0.0, 0.5, 1.0, 3.0])
+    def test_matches_scipy(self, x):
+        assert erf(x) == pytest.approx(scipy_special.erf(x), abs=1e-10)
+
+    def test_odd_symmetry(self):
+        for x in (0.3, 1.7, 2.5):
+            assert erf(-x) == pytest.approx(-erf(x), abs=1e-14)
+
+
+class TestStdNormalCdf:
+    def test_center_and_tails(self):
+        assert std_normal_cdf(0.0) == pytest.approx(0.5, abs=1e-14)
+        assert std_normal_cdf(10.0) == pytest.approx(1.0, abs=1e-12)
+        assert std_normal_cdf(-10.0) == pytest.approx(0.0, abs=1e-12)
+
+    @pytest.mark.parametrize("x", [-2.0, -0.7, 0.3, 1.9])
+    def test_matches_scipy(self, x):
+        from scipy.stats import norm
+
+        assert std_normal_cdf(x) == pytest.approx(norm.cdf(x), abs=1e-10)

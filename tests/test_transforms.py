@@ -1,0 +1,123 @@
+"""Tests for repro.baselines.transforms — QNF and Simple-LSH reductions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.baselines.transforms import (
+    qnf_distance_to_ip,
+    qnf_transform_data,
+    qnf_transform_query,
+    simple_lsh_transform_data,
+    simple_lsh_transform_query,
+)
+
+
+class TestQNF:
+    def test_transformed_points_have_norm_m(self):
+        gen = np.random.default_rng(0)
+        data = gen.standard_normal((50, 6))
+        transformed, max_norm = qnf_transform_data(data)
+        norms = np.linalg.norm(transformed, axis=1)
+        assert np.allclose(norms, max_norm)
+
+    def test_query_has_norm_m_and_zero_tail(self):
+        q = np.array([3.0, 4.0])
+        qt = qnf_transform_query(q, 10.0)
+        assert qt[-1] == 0.0
+        assert np.linalg.norm(qt) == pytest.approx(10.0)
+
+    def test_distance_identity(self):
+        """dis²(õ, q̃) = 2M² − 2(M/‖q‖)·⟨o, q⟩ — the exactness of QNF."""
+        gen = np.random.default_rng(1)
+        data = gen.standard_normal((30, 5))
+        q = gen.standard_normal(5)
+        transformed, max_norm = qnf_transform_data(data)
+        qt = qnf_transform_query(q, max_norm)
+        q_norm = np.linalg.norm(q)
+        for i in range(30):
+            dist_sq = float(((transformed[i] - qt) ** 2).sum())
+            expected = 2 * max_norm**2 - 2 * (max_norm / q_norm) * float(data[i] @ q)
+            assert dist_sq == pytest.approx(expected, rel=1e-9)
+
+    def test_nn_order_is_mip_order(self):
+        gen = np.random.default_rng(2)
+        data = gen.standard_normal((100, 4))
+        q = gen.standard_normal(4)
+        transformed, max_norm = qnf_transform_data(data)
+        qt = qnf_transform_query(q, max_norm)
+        dists = np.linalg.norm(transformed - qt, axis=1)
+        ips = data @ q
+        assert np.array_equal(np.argsort(dists), np.argsort(-ips))
+
+    @given(
+        arrays(np.float64, (10, 4), elements=st.floats(-100, 100)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_inversion_roundtrip(self, data):
+        q = np.array([1.0, -2.0, 0.5, 3.0])
+        transformed, max_norm = qnf_transform_data(data)
+        qt = qnf_transform_query(q, max_norm)
+        q_norm = float(np.linalg.norm(q))
+        for i in range(len(data)):
+            dist_sq = float(((transformed[i] - qt) ** 2).sum())
+            ip = qnf_distance_to_ip(dist_sq, max_norm, q_norm)
+            assert ip == pytest.approx(float(data[i] @ q), abs=1e-6 * max(1.0, max_norm**2))
+
+    def test_rejects_max_norm_below_data(self):
+        data = np.ones((3, 2)) * 10
+        with pytest.raises(ValueError):
+            qnf_transform_data(data, max_norm=1.0)
+
+    def test_zero_query(self):
+        qt = qnf_transform_query(np.zeros(3), 5.0)
+        assert np.allclose(qt, 0.0)
+
+    def test_zero_dataset(self):
+        transformed, max_norm = qnf_transform_data(np.zeros((4, 3)))
+        assert transformed.shape == (4, 4)
+        assert np.all(np.isfinite(transformed))
+
+
+class TestSimpleLSH:
+    def test_unit_norms(self):
+        gen = np.random.default_rng(3)
+        data = gen.standard_normal((40, 5))
+        transformed, scale = simple_lsh_transform_data(data)
+        assert np.allclose(np.linalg.norm(transformed, axis=1), 1.0)
+        assert scale == pytest.approx(np.linalg.norm(data, axis=1).max())
+
+    def test_query_unit_norm(self):
+        qt = simple_lsh_transform_query(np.array([3.0, 4.0]))
+        assert np.linalg.norm(qt) == pytest.approx(1.0)
+        assert qt[-1] == 0.0
+
+    def test_cosine_identity(self):
+        """cos(x̃, q̃) = ⟨x, q⟩ / (U·‖q‖) — MCS order is MIP order."""
+        gen = np.random.default_rng(4)
+        data = gen.standard_normal((25, 6))
+        q = gen.standard_normal(6)
+        transformed, scale = simple_lsh_transform_data(data)
+        qt = simple_lsh_transform_query(q)
+        q_norm = np.linalg.norm(q)
+        for i in range(25):
+            cos = float(transformed[i] @ qt)
+            assert cos == pytest.approx(float(data[i] @ q) / (scale * q_norm), rel=1e-9)
+
+    def test_local_scale_reduces_cap_compression(self):
+        """Smaller (local) U spreads points further from the pole — the
+        Range-LSH rationale for norm-ranged subsets."""
+        gen = np.random.default_rng(5)
+        small = gen.standard_normal((20, 4)) * 0.1
+        t_global, _ = simple_lsh_transform_data(small, scale=100.0)
+        t_local, _ = simple_lsh_transform_data(small)
+        # Under the huge global scale, the appended coordinate hogs the norm.
+        assert t_global[:, -1].min() > t_local[:, -1].min()
+
+    def test_rejects_scale_below_data(self):
+        with pytest.raises(ValueError):
+            simple_lsh_transform_data(np.ones((3, 2)) * 10, scale=0.5)
