@@ -3,11 +3,16 @@
 Public API:
 
 * :class:`repro.ProMIPS` / :class:`repro.ProMIPSParams` — the paper's method.
-* :class:`repro.SearchResult` / :class:`repro.SearchStats` — common result types.
-* ``repro.baselines`` — exact scan, H2-ALSH, Norm Ranging-LSH, PQ-based search.
+* :class:`repro.SearchResult` / :class:`repro.SearchStats` /
+  :class:`repro.BatchResult` — common result types.
+* ``repro.baselines`` — exact scan, H2-ALSH, Norm Ranging-LSH, PQ-based and
+  SimHash search.
 * ``repro.data`` — synthetic analogues of the four evaluation datasets.
 * ``repro.eval`` — metrics and the experiment harness regenerating the paper's
   tables and figures.
+
+Every index answers single queries (``search``) and query batches
+(``search_many``); batch answers are bit-identical to looping ``search``.
 
 Quickstart:
 
@@ -18,10 +23,13 @@ Quickstart:
 >>> result = index.search(data[0], k=5)
 >>> len(result.ids)
 5
+>>> batch = index.search_many(data[:8], k=5)
+>>> batch.ids.shape
+(8, 5)
 """
 
-from repro.api import MIPSIndex, SearchResult, SearchStats
-from repro.core.batch import BatchStats, search_batch
+from repro.api import BatchResult, MIPSIndex, SearchResult, SearchStats
+from repro.core.batch import BatchStats, search_batch, search_many
 from repro.core.dynamic import DynamicProMIPS
 from repro.core.persist import load_index, save_index
 from repro.core.promips import ProMIPS, ProMIPSParams
@@ -29,19 +37,22 @@ from repro.baselines.exact import ExactMIPS
 from repro.baselines.h2alsh import H2ALSH
 from repro.baselines.pq import PQBasedMIPS
 from repro.baselines.rangelsh import RangeLSH
+from repro.baselines.simhash import SimHashMIPS
 from repro.data.datasets import load_dataset
-from repro.eval.harness import default_registry
+from repro.eval.harness import default_registry, measure_throughput
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "MIPSIndex",
     "SearchResult",
     "SearchStats",
+    "BatchResult",
     "ProMIPS",
     "ProMIPSParams",
     "BatchStats",
     "search_batch",
+    "search_many",
     "DynamicProMIPS",
     "load_index",
     "save_index",
@@ -49,7 +60,9 @@ __all__ = [
     "H2ALSH",
     "PQBasedMIPS",
     "RangeLSH",
+    "SimHashMIPS",
     "load_dataset",
     "default_registry",
+    "measure_throughput",
     "__version__",
 ]

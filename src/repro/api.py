@@ -1,18 +1,34 @@
 """Shared public types: search results, statistics, and the index protocol.
 
-Every MIPS method in this repository — ProMIPS and the three baselines —
-returns the same :class:`SearchResult` so the evaluation harness and the
-examples can treat them interchangeably.
+Every MIPS method in this repository — ProMIPS and the baselines — returns
+the same :class:`SearchResult` so the evaluation harness and the examples can
+treat them interchangeably.
+
+Batch execution is first-class: the :class:`MIPSIndex` protocol includes
+``search_many(queries, k)`` returning a :class:`BatchResult`, and
+:class:`BatchSearchMixin` supplies a generic fallback (loop over ``search``)
+so every index answers batches even before it grows a natively vectorized
+path.  Native implementations (ProMIPS, Exact, PQ, SimHash) route both the
+single and the batch path through ``repro.core.engine``, which makes
+``search_many(Q, k)`` bit-identical to looping ``search(q, k)``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Protocol, runtime_checkable
+from typing import Iterator, Protocol, runtime_checkable
 
 import numpy as np
 
-__all__ = ["SearchStats", "SearchResult", "MIPSIndex", "validate_query"]
+__all__ = [
+    "SearchStats",
+    "SearchResult",
+    "BatchResult",
+    "MIPSIndex",
+    "BatchSearchMixin",
+    "validate_query",
+    "validate_queries",
+]
 
 
 @dataclass
@@ -58,6 +74,66 @@ class SearchResult:
         return int(self.ids.size)
 
 
+@dataclass
+class BatchResult:
+    """Top-k answers of a whole query batch.
+
+    Rows are queries.  Queries that returned fewer than the row width (an
+    approximate method can come up short of ``k``) are right-padded with id
+    ``-1`` / score ``-inf``; indexing strips the padding.
+
+    Attributes:
+        ids: ``(n_q, k')`` point ids per query, descending inner product.
+        scores: matching ``(n_q, k')`` inner products.
+        stats: per-query accounting, one :class:`SearchStats` per row.
+    """
+
+    ids: np.ndarray
+    scores: np.ndarray
+    stats: list[SearchStats]
+
+    PAD_ID = -1
+
+    def __post_init__(self) -> None:
+        self.ids = np.atleast_2d(np.asarray(self.ids, dtype=np.int64))
+        self.scores = np.atleast_2d(np.asarray(self.scores, dtype=np.float64))
+        if self.ids.shape != self.scores.shape:
+            raise ValueError(
+                f"ids and scores must align, got {self.ids.shape} vs {self.scores.shape}"
+            )
+        if len(self.stats) != self.ids.shape[0]:
+            raise ValueError(
+                f"need one SearchStats per query, got {len(self.stats)} "
+                f"for {self.ids.shape[0]} queries"
+            )
+
+    @classmethod
+    def from_results(cls, results: list[SearchResult]) -> "BatchResult":
+        """Assemble a batch from per-query results (the fallback adapter)."""
+        if not results:
+            raise ValueError("results must be non-empty")
+        width = max(len(r) for r in results)
+        ids = np.full((len(results), width), cls.PAD_ID, dtype=np.int64)
+        scores = np.full((len(results), width), -np.inf, dtype=np.float64)
+        for i, r in enumerate(results):
+            ids[i, : len(r)] = r.ids
+            scores[i, : len(r)] = r.scores
+        return cls(ids=ids, scores=scores, stats=[r.stats for r in results])
+
+    def __len__(self) -> int:
+        return int(self.ids.shape[0])
+
+    def __getitem__(self, i: int) -> SearchResult:
+        """The ``i``-th query's answer as a plain :class:`SearchResult`."""
+        live = self.ids[i] != self.PAD_ID
+        return SearchResult(
+            ids=self.ids[i][live], scores=self.scores[i][live], stats=self.stats[i]
+        )
+
+    def __iter__(self) -> Iterator[SearchResult]:
+        return (self[i] for i in range(len(self)))
+
+
 @runtime_checkable
 class MIPSIndex(Protocol):
     """What the harness requires of a maximum-inner-product index."""
@@ -66,9 +142,29 @@ class MIPSIndex(Protocol):
         """Return the (approximate) top-k MIP points for ``query``."""
         ...
 
+    def search_many(self, queries: np.ndarray, k: int = 1) -> BatchResult:
+        """Answer a whole ``(n_q, d)`` batch; row ``i`` matches ``search(queries[i])``."""
+        ...
+
     def index_size_bytes(self) -> int:
         """Size of the auxiliary index structures (excluding the raw data)."""
         ...
+
+
+class BatchSearchMixin:
+    """Generic ``search_many`` fallback: loop ``search`` over the batch.
+
+    Gives every index a batch path for free; methods with a natively
+    vectorized batch implementation override :meth:`search_many` instead.
+    ``repro.core.batch.search_batch`` detects this fallback and can fan it
+    out over a thread pool.
+    """
+
+    def search_many(self, queries: np.ndarray, k: int = 1, **kwargs) -> BatchResult:
+        queries = validate_queries(queries, self.dim)
+        return BatchResult.from_results(
+            [self.search(q, k=k, **kwargs) for q in queries]
+        )
 
 
 def validate_query(query: np.ndarray, dim: int) -> np.ndarray:
@@ -79,3 +175,20 @@ def validate_query(query: np.ndarray, dim: int) -> np.ndarray:
     if not np.all(np.isfinite(query)):
         raise ValueError("query contains non-finite values")
     return query
+
+
+def validate_queries(queries: np.ndarray, dim: int) -> np.ndarray:
+    """Normalise a batch to a finite, non-empty ``(n_q, dim)`` float64 array.
+
+    A single ``(dim,)`` query is promoted to a one-row batch.
+    """
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    if queries.ndim != 2 or queries.shape[0] == 0:
+        raise ValueError(f"queries must be a non-empty (n_q, d) array, got {queries.shape}")
+    if queries.shape[1] != dim:
+        raise ValueError(
+            f"queries have dimension {queries.shape[1]}, index expects {dim}"
+        )
+    if not np.all(np.isfinite(queries)):
+        raise ValueError("queries contain non-finite values")
+    return queries

@@ -4,6 +4,11 @@
 * :class:`H2ALSH` — QNF transform + homocentric hypersphere shells + QALSH.
 * :class:`RangeLSH` — norm-ranging subsets + Simple-LSH/SimHash codes.
 * :class:`PQBasedMIPS` — QNF transform + LOPQ-style IVF product quantization.
+* :class:`SimHashMIPS` — Simple-LSH + SimHash codes with exact re-ranking
+  (off-paper; the lightest-index comparison point).
+
+Exact, PQ and SimHash implement natively vectorized ``search_many`` batch
+paths; the rest inherit the generic fallback from the API layer.
 """
 
 from repro.baselines.alsh import L2ALSH, SignALSH, simple_lsh
@@ -18,7 +23,12 @@ from repro.baselines.qalsh import (
     qalsh_collision_probability,
 )
 from repro.baselines.rangelsh import RangeLSH
-from repro.baselines.simhash import SimHash, hamming_distance, hamming_to_cosine
+from repro.baselines.simhash import (
+    SimHash,
+    SimHashMIPS,
+    hamming_distance,
+    hamming_to_cosine,
+)
 from repro.baselines.transforms import (
     qnf_distance_to_ip,
     qnf_transform_data,
@@ -44,6 +54,7 @@ __all__ = [
     "qalsh_collision_probability",
     "RangeLSH",
     "SimHash",
+    "SimHashMIPS",
     "hamming_distance",
     "hamming_to_cosine",
     "qnf_distance_to_ip",

@@ -32,7 +32,7 @@ import heapq
 
 import numpy as np
 
-from repro.api import SearchResult, SearchStats, validate_query
+from repro.api import BatchSearchMixin, SearchResult, SearchStats, validate_query
 from repro.baselines.e2lsh import E2LSH
 from repro.baselines.rangelsh import RangeLSH
 from repro.baselines.simhash import SimHash, hamming_distance
@@ -59,7 +59,7 @@ def _power_tail(scaled: np.ndarray, m: int) -> np.ndarray:
     return np.stack(cols, axis=1)
 
 
-class L2ALSH:
+class L2ALSH(BatchSearchMixin):
     """L2-ALSH(U, m) + E2LSH — the NIPS 2014 baseline.
 
     Args:
@@ -141,7 +141,7 @@ class L2ALSH:
         return f"L2ALSH(n={self.n}, d={self.dim}, m={self.m}, U={self.u})"
 
 
-class SignALSH:
+class SignALSH(BatchSearchMixin):
     """Sign-ALSH(U, m) + SimHash — the UAI 2015 baseline.
 
     Args:

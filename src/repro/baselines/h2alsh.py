@@ -24,7 +24,7 @@ import math
 
 import numpy as np
 
-from repro.api import SearchResult, SearchStats, validate_query
+from repro.api import BatchSearchMixin, SearchResult, SearchStats, validate_query
 from repro.baselines.qalsh import QALSH, derive_qalsh_params
 from repro.baselines.transforms import (
     qnf_distance_to_ip,
@@ -47,7 +47,7 @@ class _Shell:
         self.store = store
 
 
-class H2ALSH:
+class H2ALSH(BatchSearchMixin):
     """Homocentric-hypersphere ALSH with QNF transform and QALSH shells.
 
     Args:

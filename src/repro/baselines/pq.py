@@ -26,9 +26,16 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.api import SearchResult, SearchStats, validate_query
+from repro.api import (
+    BatchResult,
+    SearchResult,
+    SearchStats,
+    validate_query,
+    validate_queries,
+)
 from repro.cluster.kmeans import assign_to_centers, kmeans
 from repro.baselines.transforms import qnf_transform_data, qnf_transform_query
+from repro.core.engine import batch_inner_products
 from repro.storage.pagefile import DEFAULT_PAGE_SIZE, VectorStore
 
 __all__ = ["ProductQuantizer", "train_opq_rotation", "PQBasedMIPS"]
@@ -253,6 +260,10 @@ class PQBasedMIPS:
 
         layout = np.concatenate(layout_chunks).astype(np.int64)
         self._store = VectorStore(data, page_size, layout_order=layout, label="pq-orig")
+        # ‖c_j‖² for the norm-expanded coarse scan of the batch path.
+        self._center_norm_sq = np.einsum(
+            "ij,ij->i", self.coarse_centers, self.coarse_centers
+        )
 
     def index_size_bytes(self) -> int:
         """Rotations + codebooks + codes + coarse centroids — the "many local
@@ -275,48 +286,111 @@ class PQBasedMIPS:
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
         query = validate_query(query, self.dim)
+        return self.search_many(query[None, :], k=k)[0]
+
+    def search_many(self, queries: np.ndarray, k: int = 1) -> BatchResult:
+        """ADC search for a whole batch (bit-identical to looping ``search``).
+
+        Batch-wide work runs vectorized: the coarse scan is one norm-expanded
+        GEMM over all queries, and every probed cell computes its ADC
+        distances for *all* queries that probe it at once — one lookup-table
+        gather per subspace per cell instead of one per query.  The exact
+        re-ranking of each query's short-list stays per query (short-lists
+        rarely overlap).
+        """
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        queries = validate_queries(queries, self.dim)
         k = min(k, self.n)
-        q_t = qnf_transform_query(query, self.max_norm)
+        # Bound peak memory: the per-cell ADC accumulators scale with
+        # (queries in flight) × (cell population), so the batch is processed
+        # in blocks — bit-identity is unaffected (all scoring is per query
+        # or per (cell, query)).
+        block = 256
+        results: list[SearchResult] = []
+        for start in range(0, queries.shape[0], block):
+            results.extend(self._search_block(queries[start : start + block], k))
+        return BatchResult.from_results(results)
 
-        diffs = self.coarse_centers - q_t[None, :]
-        coarse_d = np.einsum("ij,ij->i", diffs, diffs)
-        probe = np.argsort(coarse_d, kind="stable")[: min(self.n_probe, self.n_coarse)]
+    def _search_block(self, queries: np.ndarray, k: int) -> list[SearchResult]:
+        n_q = queries.shape[0]
+        q_ts = np.stack([qnf_transform_query(q, self.max_norm) for q in queries])
 
-        approx_ids: list[np.ndarray] = []
-        approx_dists: list[np.ndarray] = []
-        code_pages = 0
-        for j in probe.tolist():
+        # Coarse scan: ‖c‖² − 2⟨c, q⟩ + ‖q‖² through one shape-stable GEMM.
+        coarse_ip = batch_inner_products(self.coarse_centers, q_ts)  # (n_c, n_q)
+        qt_norm_sq = np.array([float(q_t @ q_t) for q_t in q_ts])
+        coarse_d = self._center_norm_sq[:, None] - 2.0 * coarse_ip + qt_norm_sq[None, :]
+        n_probe = min(self.n_probe, self.n_coarse)
+        probe_order = np.argsort(coarse_d, axis=0, kind="stable")[:n_probe]
+        probes = [probe_order[:, i] for i in range(n_q)]
+
+        # Group queries by probed cell, then run each cell's ADC scan for all
+        # of its queries in one accumulation pass over the inverted list.
+        cell_queries: dict[int, list[int]] = {}
+        for i, probe in enumerate(probes):
+            for j in probe.tolist():
+                if self.cells[j].member_ids.size:
+                    cell_queries.setdefault(j, []).append(i)
+
+        cell_dists: dict[tuple[int, int], np.ndarray] = {}
+        for j, q_idx in cell_queries.items():
             cell = self.cells[j]
-            if cell.member_ids.size == 0:
-                continue
-            code_pages += cell.list_pages
-            q_res = (q_t - cell.center) @ cell.rotation
-            tables = cell.pq.adc_tables(q_res)
-            dists = cell.pq.adc_distances(cell.codes, tables)
-            approx_ids.append(cell.member_ids)
-            approx_dists.append(dists)
+            codes = cell.codes
+            tables = []
+            for i in q_idx:
+                q_res = (q_ts[i] - cell.center) @ cell.rotation
+                tables.append(cell.pq.adc_tables(q_res))
+            acc = np.zeros((len(q_idx), codes.shape[0]))
+            for s in range(cell.pq.n_subspaces):
+                table_s = np.stack([t[s] for t in tables])  # (n_qj, k_s)
+                acc += table_s[:, codes[:, s]]
+            for row, i in enumerate(q_idx):
+                cell_dists[(j, i)] = acc[row]
 
-        if approx_ids:
-            all_ids = np.concatenate(approx_ids)
-            all_dists = np.concatenate(approx_dists)
-        else:  # pragma: no cover - probe always finds non-empty cells
-            all_ids = np.empty(0, dtype=np.int64)
-            all_dists = np.empty(0)
+        results: list[SearchResult] = []
+        for i in range(n_q):
+            query = queries[i]
+            approx_ids: list[np.ndarray] = []
+            approx_dists: list[np.ndarray] = []
+            code_pages = 0
+            for j in probes[i].tolist():
+                cell = self.cells[j]
+                if cell.member_ids.size == 0:
+                    continue
+                code_pages += cell.list_pages
+                approx_ids.append(cell.member_ids)
+                approx_dists.append(cell_dists[(j, i)])
 
-        shortlist = max(self.rerank * k, int(self.rerank_fraction * all_ids.size), k)
-        shortlist = min(shortlist, all_ids.size)
-        part = np.argpartition(all_dists, shortlist - 1)[:shortlist] if shortlist else []
-        reader = self._store.reader()
-        short_ids = all_ids[part]
-        vecs = reader.get_many(short_ids)
-        ips = vecs @ query
-        order = np.argsort(-ips, kind="stable")[:k]
-        stats = SearchStats(
-            pages=code_pages + reader.pages_touched,
-            candidates=int(all_ids.size),
-            extras={"cells_probed": int(len(probe)), "reranked": int(shortlist)},
-        )
-        return SearchResult(ids=short_ids[order], scores=ips[order], stats=stats)
+            if approx_ids:
+                all_ids = np.concatenate(approx_ids)
+                all_dists = np.concatenate(approx_dists)
+            else:  # pragma: no cover - probe always finds non-empty cells
+                all_ids = np.empty(0, dtype=np.int64)
+                all_dists = np.empty(0)
+
+            shortlist = max(
+                self.rerank * k, int(self.rerank_fraction * all_ids.size), k
+            )
+            shortlist = min(shortlist, all_ids.size)
+            part = (
+                np.argpartition(all_dists, shortlist - 1)[:shortlist]
+                if shortlist
+                else []
+            )
+            reader = self._store.reader()
+            short_ids = all_ids[part]
+            vecs = reader.get_many(short_ids)
+            ips = vecs @ query
+            order = np.argsort(-ips, kind="stable")[:k]
+            stats = SearchStats(
+                pages=code_pages + reader.pages_touched,
+                candidates=int(all_ids.size),
+                extras={"cells_probed": int(len(probes[i])), "reranked": int(shortlist)},
+            )
+            results.append(
+                SearchResult(ids=short_ids[order], scores=ips[order], stats=stats)
+            )
+        return results
 
     def __repr__(self) -> str:
         return (

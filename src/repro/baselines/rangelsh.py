@@ -27,7 +27,7 @@ import heapq
 
 import numpy as np
 
-from repro.api import SearchResult, SearchStats, validate_query
+from repro.api import BatchSearchMixin, SearchResult, SearchStats, validate_query
 from repro.baselines.simhash import SimHash, hamming_distance
 from repro.baselines.transforms import (
     simple_lsh_transform_data,
@@ -40,7 +40,7 @@ __all__ = ["RangeLSH"]
 _CODE_BYTES = 2  # 16-bit codes in the paper's configuration
 
 
-class RangeLSH:
+class RangeLSH(BatchSearchMixin):
     """Norm-ranging LSH with shared SimHash codes and bound-ordered probing.
 
     Args:

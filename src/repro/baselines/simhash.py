@@ -8,13 +8,32 @@ codes estimates the angle:  ``θ̂ = π · hamming / b`` and
 Norm Ranging-LSH builds one shared SimHash over the Simple-LSH-transformed
 points of all its norm-range subsets; the per-subset maximum norm then turns
 the cosine estimate into an inner-product upper bound used to rank probes.
+
+:class:`SimHashMIPS` turns the codes into a standalone MIPS baseline
+(Simple-LSH reduction → Hamming short-list → exact re-rank) with a natively
+vectorized ``search_many``: one GEMM encodes the whole query batch and the
+Hamming scan runs as blocked XOR/popcount matrix operations.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["SimHash", "hamming_distance", "hamming_to_cosine"]
+from repro.api import (
+    BatchResult,
+    SearchResult,
+    SearchStats,
+    validate_queries,
+)
+from repro.baselines.transforms import (
+    simple_lsh_transform_data,
+    simple_lsh_transform_query,
+)
+from repro.core.binary_codes import pack_code
+from repro.core.engine import batch_inner_products
+from repro.storage.pagefile import DEFAULT_PAGE_SIZE, VectorStore
+
+__all__ = ["SimHash", "SimHashMIPS", "hamming_distance", "hamming_to_cosine"]
 
 
 def hamming_distance(codes: np.ndarray, query_code: int) -> np.ndarray:
@@ -61,9 +80,139 @@ class SimHash:
         codes = (bits * weights[None, :]).sum(axis=1)
         return codes[0] if single else codes
 
+    @property
+    def hyperplanes(self) -> np.ndarray:
+        """The ``(n_bits, dim)`` Gaussian hyperplane matrix."""
+        return self._hyperplanes
+
     def size_bytes(self) -> int:
         """Footprint of the hyperplane matrix."""
         return self._hyperplanes.nbytes
 
     def __repr__(self) -> str:
         return f"SimHash(dim={self.dim}, n_bits={self.n_bits})"
+
+
+class SimHashMIPS:
+    """SimHash MIPS baseline: Simple-LSH codes, Hamming short-list, exact re-rank.
+
+    The Simple-LSH transform appends ``√(1 − ‖x/U‖²)`` so that the angle
+    between transformed vectors is monotone in the inner product; ``n_bits``
+    sign projections then let a Hamming scan rank the whole dataset without
+    touching the raw vectors.  The ``shortlist·k`` closest codes (ties by id)
+    are re-ranked against the full vectors.  There is no accuracy guarantee —
+    like PQ, it is a guarantee-free comparison point, but with a far lighter
+    index (one packed integer per point).
+
+    ``search_many`` is natively vectorized: one shape-stable GEMM signs all
+    queries at once and the Hamming matrix is computed by blocked
+    XOR/popcount.  Since Hamming distances are exact integers and re-ranking
+    uses the same per-query multiply as ``search``, batch answers are
+    bit-identical to the looped path.
+
+    Args:
+        data: ``(n, d)`` dataset.
+        rng: generator or seed for the hyperplanes.
+        n_bits: code length (≤ 63, packed into one uint64 per point).
+        shortlist: re-ranked candidates as a multiple of ``k``.
+        page_size: page size for the accounting.
+    """
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        rng: np.random.Generator | int | None = None,
+        n_bits: int = 32,
+        shortlist: int = 16,
+        page_size: int = DEFAULT_PAGE_SIZE,
+    ) -> None:
+        if shortlist <= 0:
+            raise ValueError(f"shortlist must be positive, got {shortlist}")
+        if not isinstance(rng, np.random.Generator):
+            rng = np.random.default_rng(rng)
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2 or data.shape[0] == 0:
+            raise ValueError(f"data must be a non-empty (n, d) array, got {data.shape}")
+        self._data = data
+        self.n, self.dim = data.shape
+        self.shortlist = int(shortlist)
+
+        transformed, self.max_norm = simple_lsh_transform_data(data)
+        self.simhash = SimHash(self.dim + 1, n_bits, rng)
+        self._codes = self.simhash.encode(transformed)
+        self._store = VectorStore(data, page_size, label="simhash")
+        # Packed codes ship as one uint64 per point.
+        self._code_pages = max(1, -(-self.n * 8 // int(page_size)))
+
+    @property
+    def n_bits(self) -> int:
+        return self.simhash.n_bits
+
+    def index_size_bytes(self) -> int:
+        """Packed codes + hyperplanes — the lightest index in the repo."""
+        return self.n * 8 + self.simhash.size_bytes()
+
+    def _encode_queries(self, queries: np.ndarray) -> np.ndarray:
+        """Packed codes for a validated ``(n_q, d)`` batch.
+
+        The sign projections go through the engine's shape-stable GEMM so a
+        query's bits never depend on its batch size (the plain
+        :meth:`SimHash.encode` row orientation is not batch-width invariant).
+        """
+        transformed = np.stack(
+            [simple_lsh_transform_query(q) for q in queries]
+        )
+        projections = batch_inner_products(
+            self.simhash.hyperplanes, transformed
+        ).T  # (n_q, n_bits)
+        return pack_code(projections >= 0.0)
+
+    def search(self, query: np.ndarray, k: int = 1) -> SearchResult:
+        """Hamming-ranked c-k-AMIP search with exact re-ranking."""
+        return self.search_many(np.asarray(query, dtype=np.float64).reshape(1, -1), k=k)[0]
+
+    def search_many(self, queries: np.ndarray, k: int = 1) -> BatchResult:
+        """Batch search: one encode GEMM + blocked Hamming matrix scan."""
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        queries = validate_queries(queries, self.dim)
+        k = min(k, self.n)
+        n_take = min(self.n, max(self.shortlist * k, self.shortlist))
+        query_codes = self._encode_queries(queries)
+
+        results: list[SearchResult] = []
+        point_ids = np.arange(self.n, dtype=np.int64)
+        # The Hamming matrix is integer-exact, so blocking over queries is
+        # purely a memory bound: cap the (block, n) XOR temporary at ~2M
+        # uint64 entries (~16MB) regardless of dataset size.
+        block = max(1, min(queries.shape[0], 2_000_000 // self.n))
+        for start in range(0, queries.shape[0], block):
+            q_block = query_codes[start : start + block]
+            hammings = np.bitwise_count(self._codes[None, :] ^ q_block[:, None])
+            for row, i in enumerate(range(start, start + q_block.shape[0])):
+                # Candidates by ascending Hamming distance, ties by id:
+                # hamming ≤ 63, so `hamming·n + id` is a collision-free
+                # int64 total order and an O(n) argpartition + O(L log L)
+                # short-list sort replaces a full O(n log n) lexsort.
+                key = hammings[row].astype(np.int64) * self.n + point_ids
+                part = np.argpartition(key, n_take - 1)[:n_take]
+                cand = part[np.argsort(key[part], kind="stable")]
+                reader = self._store.reader()
+                vecs = reader.get_many(cand)
+                ips = vecs @ queries[i]
+                order = np.lexsort((cand, -ips))[:k]
+                stats = SearchStats(
+                    pages=self._code_pages + reader.pages_touched,
+                    candidates=int(n_take),
+                    extras={"shortlist": int(n_take)},
+                )
+                results.append(
+                    SearchResult(ids=cand[order], scores=ips[order], stats=stats)
+                )
+        return BatchResult.from_results(results)
+
+    def __repr__(self) -> str:
+        return (
+            f"SimHashMIPS(n={self.n}, d={self.dim}, bits={self.n_bits}, "
+            f"shortlist={self.shortlist})"
+        )

@@ -6,6 +6,8 @@ Commands:
   §VIII metric table (ratio / recall / pages / CPU / total).
 * ``sweep`` — one method over a k-grid (the row source of Figs. 5–9).
 * ``tune`` — ProMIPS over a c- and p-grid (Figs. 10–11).
+* ``throughput`` — queries/sec of the looped single-query path vs the
+  vectorized ``search_many`` batch path, per method.
 * ``datasets`` — print Table III for the sim and paper profiles.
 
 Examples::
@@ -13,6 +15,7 @@ Examples::
     python -m repro compare --dataset netflix --n 8000 --dim 64 --k 10
     python -m repro sweep --dataset sift --method ProMIPS --ks 10,40,100
     python -m repro tune --dataset yahoo --cs 0.7,0.9 --ps 0.3,0.9
+    python -m repro throughput --dataset netflix --n 10000 --queries 256 --k 10
     python -m repro datasets
 """
 
@@ -25,7 +28,12 @@ import numpy as np
 
 from repro.data.datasets import DATASETS, load_dataset, table3_rows
 from repro.eval.ground_truth import GroundTruth
-from repro.eval.harness import build_method, default_registry, run_method
+from repro.eval.harness import (
+    build_method,
+    default_registry,
+    measure_throughput,
+    run_method,
+)
 from repro.eval.reporting import format_series, format_table
 
 __all__ = ["main"]
@@ -115,6 +123,48 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_throughput(args: argparse.Namespace) -> int:
+    if args.repeats <= 0:
+        print(f"error: --repeats must be positive, got {args.repeats}")
+        return 2
+    dataset = _load(args)
+    registry = default_registry(include_extras=True)
+    methods = (
+        registry.names() if args.methods == "all" else args.methods.split(",")
+    )
+    unknown = [m for m in methods if m not in registry.names()]
+    if unknown:
+        print(f"error: unknown methods {unknown}; known: {registry.names()}")
+        return 2
+    rows = []
+    for method in methods:
+        index, _ = build_method(registry, method, dataset, seed=1)
+        report = measure_throughput(
+            index,
+            dataset.queries,
+            k=args.k,
+            method=method,
+            dataset=dataset.name,
+            repeats=args.repeats,
+        )
+        rows.append([
+            method,
+            "native" if report.native_batch else "fallback",
+            report.loop_qps,
+            report.batch_qps,
+            report.speedup,
+        ])
+    print(format_table(
+        ["method", "batch_path", "loop_qps", "batch_qps", "speedup"],
+        rows,
+        title=(
+            f"single vs batch throughput on {dataset.name} "
+            f"(n={dataset.n}, d={dataset.dim}, q={len(dataset.queries)}, k={args.k})"
+        ),
+    ))
+    return 0
+
+
 def _cmd_datasets(args: argparse.Namespace) -> int:
     for profile in ("paper", "sim"):
         kwargs: dict = {"n_queries": 2}
@@ -159,6 +209,18 @@ def build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--cs", default="0.7,0.8,0.9")
     tune.add_argument("--ps", default="0.3,0.5,0.7,0.9")
     tune.set_defaults(func=_cmd_tune)
+
+    throughput = sub.add_parser(
+        "throughput", help="queries/sec: looped search vs search_many"
+    )
+    _add_dataset_args(throughput)
+    throughput.add_argument("--k", type=int, default=10)
+    throughput.add_argument(
+        "--methods", default="all",
+        help='comma list from the registry (+ "Exact", "SimHash"), or "all"',
+    )
+    throughput.add_argument("--repeats", type=int, default=3)
+    throughput.set_defaults(func=_cmd_throughput)
 
     datasets = sub.add_parser("datasets", help="print Table III")
     datasets.add_argument("--n", type=int, default=None)

@@ -1,6 +1,15 @@
-"""The paper's contribution: projections, conditions, Quick-Probe, ProMIPS."""
+"""The paper's contribution: projections, conditions, Quick-Probe, ProMIPS —
+plus the shared batch query engine every index builds on."""
 
-from repro.core.batch import BatchStats, search_batch
+from repro.core.batch import BatchStats, has_native_batch, search_batch, search_many
+from repro.core.engine import (
+    CandidateVerifier,
+    TopK,
+    batch_inner_products,
+    batch_topk,
+    project_batch,
+    topk_ids_scores,
+)
 from repro.core.binary_codes import (
     BinaryCodeGroups,
     group_lower_bounds,
@@ -23,6 +32,14 @@ from repro.core.quickprobe import ProbeOutcome, QuickProbe
 __all__ = [
     "BatchStats",
     "search_batch",
+    "search_many",
+    "has_native_batch",
+    "CandidateVerifier",
+    "TopK",
+    "batch_inner_products",
+    "batch_topk",
+    "project_batch",
+    "topk_ids_scores",
     "DynamicProMIPS",
     "load_index",
     "save_index",

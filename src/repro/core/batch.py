@@ -1,20 +1,25 @@
 """Batch query execution with aggregate accounting.
 
-Recommendation back-ends answer MIP queries for whole user cohorts at once;
-this helper runs a query batch through any :class:`repro.api.MIPSIndex` and
-aggregates the per-query statistics (mean/percentile pages, total
-candidates), so callers don't re-implement the bookkeeping loop.
+Recommendation back-ends answer MIP queries for whole user cohorts at once.
+Since batching is part of the :class:`repro.api.MIPSIndex` protocol, this
+module is a thin orchestration layer: :func:`search_many` routes a batch to
+the index's native vectorized path when it has one (ProMIPS, Exact, PQ,
+SimHash), and otherwise runs the generic fallback — optionally fanned out
+over a thread pool, which helps because NumPy releases the GIL inside the
+BLAS kernels every search leans on.  :func:`search_batch` keeps the original
+list-of-results signature and aggregates :class:`BatchStats`.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.api import MIPSIndex, SearchResult
+from repro.api import BatchResult, BatchSearchMixin, MIPSIndex, SearchResult
 
-__all__ = ["BatchStats", "search_batch"]
+__all__ = ["BatchStats", "search_batch", "search_many", "has_native_batch"]
 
 
 @dataclass(frozen=True)
@@ -32,33 +37,75 @@ class BatchStats:
     p95_pages: float
     total_candidates: int
 
+    @classmethod
+    def from_batch(cls, batch: BatchResult) -> "BatchStats":
+        pages = np.array([s.pages for s in batch.stats], dtype=np.float64)
+        return cls(
+            n_queries=len(batch),
+            mean_pages=float(pages.mean()),
+            p95_pages=float(np.percentile(pages, 95)),
+            total_candidates=int(sum(s.candidates for s in batch.stats)),
+        )
+
+
+def has_native_batch(index: MIPSIndex) -> bool:
+    """Whether the index overrides the generic ``search_many`` fallback."""
+    impl = getattr(type(index), "search_many", None)
+    return impl is not None and impl is not BatchSearchMixin.search_many
+
+
+def search_many(
+    index: MIPSIndex,
+    queries: np.ndarray,
+    k: int = 1,
+    n_threads: int | None = None,
+    **search_kwargs,
+) -> BatchResult:
+    """Answer a query batch through the fastest path the index offers.
+
+    Args:
+        index: any MIPS index (ProMIPS or a baseline).
+        queries: ``(n_q, d)`` array (one ``(d,)`` query is promoted).
+        k: results per query.
+        n_threads: fan the *fallback* loop out over this many threads; the
+            natively vectorized paths ignore it (one GEMM already saturates
+            the cores BLAS is configured for).
+        **search_kwargs: forwarded to the index (e.g. ProMIPS ``c=0.8``).
+    """
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    if queries.shape[0] == 0:
+        raise ValueError("queries must be non-empty")
+    if has_native_batch(index):
+        return index.search_many(queries, k=k, **search_kwargs)
+    if n_threads is not None and n_threads > 1 and queries.shape[0] > 1:
+        with ThreadPoolExecutor(max_workers=n_threads) as pool:
+            results = list(
+                pool.map(lambda q: index.search(q, k=k, **search_kwargs), queries)
+            )
+        return BatchResult.from_results(results)
+    if hasattr(index, "search_many"):
+        return index.search_many(queries, k=k, **search_kwargs)
+    # Indexes predating the protocol extension still answer batches.
+    return BatchResult.from_results(
+        [index.search(q, k=k, **search_kwargs) for q in queries]
+    )
+
 
 def search_batch(
     index: MIPSIndex,
     queries: np.ndarray,
     k: int = 1,
+    n_threads: int | None = None,
     **search_kwargs,
 ) -> tuple[list[SearchResult], BatchStats]:
-    """Run ``index.search`` over every row of ``queries``.
+    """Run a batch and aggregate its statistics.
 
-    Args:
-        index: any MIPS index (ProMIPS or a baseline).
-        queries: ``(n_q, d)`` array.
-        k: results per query.
-        **search_kwargs: forwarded per query (e.g. ProMIPS ``c=0.8``).
+    Kept for callers that want per-query :class:`SearchResult` objects; new
+    code can use :func:`search_many` / ``index.search_many`` directly and
+    keep the columnar :class:`repro.api.BatchResult`.
 
     Returns:
         The per-query results plus aggregated :class:`BatchStats`.
     """
-    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
-    if queries.shape[0] == 0:
-        raise ValueError("queries must be non-empty")
-    results = [index.search(q, k=k, **search_kwargs) for q in queries]
-    pages = np.array([r.stats.pages for r in results], dtype=np.float64)
-    stats = BatchStats(
-        n_queries=len(results),
-        mean_pages=float(pages.mean()),
-        p95_pages=float(np.percentile(pages, 95)),
-        total_candidates=int(sum(r.stats.candidates for r in results)),
-    )
-    return results, stats
+    batch = search_many(index, queries, k=k, n_threads=n_threads, **search_kwargs)
+    return list(batch), BatchStats.from_batch(batch)

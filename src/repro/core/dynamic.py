@@ -27,13 +27,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.api import SearchResult, SearchStats, validate_query
+from repro.api import BatchSearchMixin, SearchResult, SearchStats, validate_query
 from repro.core.promips import ProMIPS, ProMIPSParams
 
 __all__ = ["DynamicProMIPS"]
 
 
-class DynamicProMIPS:
+class DynamicProMIPS(BatchSearchMixin):
     """ProMIPS with insert/delete support via a delta buffer + tombstones.
 
     Args:
@@ -96,13 +96,18 @@ class DynamicProMIPS:
         return ext_id
 
     def delete(self, external_id: int) -> None:
-        """Tombstone a point; it disappears from all subsequent results."""
+        """Tombstone a point; it disappears from all subsequent results.
+
+        Validates *before* mutating: deleting the last live point raises
+        without tombstoning it, so the structure is never left empty (and
+        therefore corrupt for every subsequent search).
+        """
         if not 0 <= external_id < self._next_id or external_id in self._tombstones:
             raise KeyError(f"unknown or already-deleted id {external_id}")
+        if self.n_live == 1:
+            raise ValueError("cannot delete the last live point")
         self._tombstones.add(external_id)
         self._delta.pop(external_id, None)
-        if self.n_live == 0:
-            raise ValueError("cannot delete the last live point")
 
     def _rebuild(self) -> None:
         """Re-bulk-load the index over all live points."""

@@ -89,9 +89,7 @@ def load_index(path: str | Path) -> ProMIPS:
         projected, params.page_size, layout_order=ring.layout_order,
         label="promips-proj",
     )
-    index = ProMIPS(
+    return ProMIPS(
         data, params, projection, projected, groups, quickprobe, ring,
-        orig_store, proj_store,
+        orig_store, proj_store, l1_norms=l1_norms,
     )
-    index._l1_norms = l1_norms
-    return index

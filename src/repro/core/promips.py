@@ -12,17 +12,28 @@ compensation pass extends the radius to ``r'`` when Condition B is not yet
 met.  ``search_incremental`` implements MIP-Search-I (Algorithm 1), the
 incremental-NN variant that Quick-Probe was designed to replace; it is kept
 both as a reference implementation and for the ablation benchmark.
+
+``search_many`` is the native batch path: all queries are projected in one
+GEMM and the Quick-Probe group scans run vectorized over the whole batch;
+the adaptive per-query range-search/verification core is shared with
+``search`` through :mod:`repro.core.engine`, so batch answers are
+bit-identical to looping ``search``.
 """
 
 from __future__ import annotations
 
-import heapq
 import math
 from dataclasses import dataclass, replace
 
 import numpy as np
 
-from repro.api import SearchResult, SearchStats, validate_query
+from repro.api import (
+    BatchResult,
+    SearchResult,
+    SearchStats,
+    validate_query,
+    validate_queries,
+)
 from repro.core.binary_codes import BinaryCodeGroups
 from repro.core.conditions import (
     compensation_radius,
@@ -30,9 +41,10 @@ from repro.core.conditions import (
     condition_b_holds,
     guarantee_denominator,
 )
+from repro.core.engine import CandidateVerifier, TopK, project_batch
 from repro.core.optimal_dim import optimized_projection_dim
 from repro.core.projection import StableProjection
-from repro.core.quickprobe import QuickProbe
+from repro.core.quickprobe import ProbeOutcome, QuickProbe
 from repro.index.ring_idistance import RingIDistance
 from repro.storage.pagefile import DEFAULT_PAGE_SIZE, AccessCounter, VectorStore
 
@@ -78,48 +90,8 @@ class ProMIPSParams:
             raise ValueError("kp, n_key and ksp must all be positive")
 
 
-class _TopK:
-    """Running top-k inner products (min-heap of (ip, id))."""
-
-    __slots__ = ("k", "_heap", "_seen")
-
-    def __init__(self, k: int) -> None:
-        self.k = k
-        self._heap: list[tuple[float, int]] = []
-        self._seen: set[int] = set()
-
-    def offer(self, ip: float, pid: int) -> None:
-        if pid in self._seen:
-            return
-        self._seen.add(pid)
-        if len(self._heap) < self.k:
-            heapq.heappush(self._heap, (ip, pid))
-        elif ip > self._heap[0][0]:
-            heapq.heapreplace(self._heap, (ip, pid))
-
-    @property
-    def full(self) -> bool:
-        return len(self._heap) >= self.k
-
-    @property
-    def kth_ip(self) -> float:
-        """Inner product of the current k-th best; −inf until k candidates."""
-        if not self.full:
-            return -math.inf
-        return self._heap[0][0]
-
-    @property
-    def weakest_ip(self) -> float:
-        """Smallest collected inner product; −inf when empty."""
-        if not self._heap:
-            return -math.inf
-        return self._heap[0][0]
-
-    def result(self) -> tuple[np.ndarray, np.ndarray]:
-        ranked = sorted(self._heap, key=lambda t: (-t[0], t[1]))
-        ids = np.array([pid for _, pid in ranked], dtype=np.int64)
-        ips = np.array([ip for ip, _ in ranked], dtype=np.float64)
-        return ids, ips
+# Backwards-compatible alias: the running top-k moved to the shared engine.
+_TopK = TopK
 
 
 class ProMIPS:
@@ -139,6 +111,7 @@ class ProMIPS:
         ring: RingIDistance,
         orig_store: VectorStore,
         proj_store: VectorStore,
+        l1_norms: np.ndarray | None = None,
     ) -> None:
         self._data = data
         self.params = params
@@ -152,9 +125,19 @@ class ProMIPS:
         self.orig_store = orig_store
         self.proj_store = proj_store
 
+        if l1_norms is None:
+            l1_norms = np.abs(data).sum(axis=1)
+        else:
+            l1_norms = np.asarray(l1_norms, dtype=np.float64)
+            if l1_norms.shape != (self.n,):
+                raise ValueError(
+                    f"l1_norms must have shape ({self.n},), got {l1_norms.shape}"
+                )
+        self._l1_norms = l1_norms
         self._norm_sq = np.einsum("ij,ij->i", data, data)
         self.max_norm_sq = float(self._norm_sq.max())
         self._chi2 = quickprobe.chi2
+        self._verifier = CandidateVerifier(self._chi2, self.max_norm_sq)
 
     # ------------------------------------------------------------------ build
 
@@ -205,12 +188,10 @@ class ProMIPS:
         proj_store = VectorStore(
             projected, params.page_size, layout_order=ring.layout_order, label="promips-proj"
         )
-        index = cls(
+        return cls(
             data, params, projection, projected, groups, quickprobe, ring,
-            orig_store, proj_store,
+            orig_store, proj_store, l1_norms=l1_norms,
         )
-        index._l1_norms = l1_norms
-        return index
 
     # ------------------------------------------------------------------- size
 
@@ -232,95 +213,40 @@ class ProMIPS:
 
     # ----------------------------------------------------------------- search
 
-    def _verify(
+    def _project_queries(self, queries: np.ndarray) -> np.ndarray:
+        """Project a ``(n_q, d)`` batch with one shape-stable GEMM.
+
+        Both ``search`` and ``search_many`` project through this helper, so a
+        query's projection never depends on its batch size — the keystone of
+        the batch/single bit-identity guarantee.
+        """
+        return project_batch(self.projection.matrix, queries)
+
+    def _search_core(
         self,
-        topk: _TopK,
-        ids: np.ndarray,
-        dists: np.ndarray,
         query: np.ndarray,
-        orig_reader,
+        q_proj: np.ndarray,
+        outcome: ProbeOutcome,
+        k: int,
         c: float,
         p: float,
-        q_norm_sq: float,
-    ) -> tuple[str | None, int]:
-        """Verify candidates in ascending projected-distance order.
-
-        This is the incremental traversal of Theorem 1/2: fetch the original
-        point (charging pages), update the running top-k, then test the
-        stopping conditions with the *updated* k-th best.  Condition B is
-        evaluated through its equivalent O(1) form
-        ``dis²(P(oi), P(q)) ≥ Ψm⁻¹(p) · denom`` — the CDF comparison
-        ``Ψm(dis²/denom) ≥ p`` inverted once through the cached quantile —
-        so no per-candidate CDF evaluation is needed.
-
-        Returns ``(fired_condition, points_verified)`` where
-        ``fired_condition`` is ``"condition_a"``, ``"condition_b"`` or None.
-
-        Points are fetched in small chunks (one batched, page-coalesced read
-        per chunk — the disk would serve whole pages anyway) and the
-        condition arithmetic is inlined: Condition A reduces to
-        ``ip_k ≥ c·(‖oM‖² + ‖q‖²)/2`` and Condition B to
-        ``dis² ≥ Ψm⁻¹(p)·(‖oM‖² + ‖q‖² − 2·ip_k/c)``.
-        """
-        quantile = self._chi2.ppf(p)
-        base = self.max_norm_sq + q_norm_sq
-        cond_a_threshold = 0.5 * c * base
-        verified = 0
-        chunk = 32
-        for start in range(0, ids.size, chunk):
-            chunk_ids = ids[start : start + chunk]
-            vecs = orig_reader.get_many(chunk_ids)
-            ips = vecs @ query
-            for pid, dist, ip in zip(
-                chunk_ids.tolist(), dists[start : start + chunk].tolist(), ips.tolist()
-            ):
-                verified += 1
-                topk.offer(ip, pid)
-                if not topk.full:
-                    continue
-                kth = topk.kth_ip
-                if kth >= cond_a_threshold:
-                    return "condition_a", verified
-                if dist * dist >= quantile * (base - 2.0 * kth / c):
-                    return "condition_b", verified
-        return None, verified
-
-    def search(
-        self,
-        query: np.ndarray,
-        k: int = 1,
-        c: float | None = None,
-        p: float | None = None,
     ) -> SearchResult:
-        """c-k-AMIP search via MIP-Search-II (Quick-Probe + range search).
+        """MIP-Search-II for one query, given its projection and probe.
 
-        Args:
-            query: ``(d,)`` query vector.
-            k: number of results (c-k-AMIP).
-            c: per-query approximation-ratio override.
-            p: per-query guarantee-probability override.
+        The adaptive part of Algorithm 3: a first range search at the
+        Quick-Probe radius, chunked verification through the shared
+        :class:`repro.core.engine.CandidateVerifier`, and the compensation
+        loop extending to ``r'`` until a condition fires.
         """
-        c = self.params.c if c is None else c
-        p = self.params.p if p is None else p
-        if k <= 0:
-            raise ValueError(f"k must be positive, got {k}")
-        query = validate_query(query, self.dim)
-        k = min(k, self.n)
-
-        q_proj = self.projection.project(query)
         q_norm_sq = float(query @ query)
-        q_l1 = float(np.abs(query).sum())
-
         tree_counter = AccessCounter()
         orig_reader = self.orig_store.reader()
         proj_reader = self.proj_store.reader()
 
-        # --- Quick-Probe: locate the point fixing the search radius.
-        outcome = self.quickprobe.probe(q_proj, q_l1, c, p)
         probe_vec = proj_reader.get(outcome.point_id)
         radius = float(np.linalg.norm(probe_vec - q_proj))
 
-        topk = _TopK(k)
+        topk = TopK(k)
         expansions = 0
         total_verified = 0
 
@@ -329,7 +255,7 @@ class ProMIPS:
         ids, dists = self.ring.range_search(
             q_proj, radius, tree_counter, proj_reader, min_radius=-1.0
         )
-        fired, verified = self._verify(
+        fired, verified = self._verifier.verify(
             topk, ids, dists, query, orig_reader, c, p, q_norm_sq
         )
         total_verified += verified
@@ -359,7 +285,7 @@ class ProMIPS:
             ids, dists = self.ring.range_search(
                 q_proj, next_radius, tree_counter, proj_reader, min_radius=current_radius
             )
-            fired, verified = self._verify(
+            fired, verified = self._verifier.verify(
                 topk, ids, dists, query, orig_reader, c, p, q_norm_sq
             )
             total_verified += verified
@@ -380,6 +306,72 @@ class ProMIPS:
             },
         )
         return SearchResult(ids=ids_out, scores=ips_out, stats=stats)
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int = 1,
+        c: float | None = None,
+        p: float | None = None,
+    ) -> SearchResult:
+        """c-k-AMIP search via MIP-Search-II (Quick-Probe + range search).
+
+        Args:
+            query: ``(d,)`` query vector.
+            k: number of results (c-k-AMIP).
+            c: per-query approximation-ratio override.
+            p: per-query guarantee-probability override.
+        """
+        c = self.params.c if c is None else c
+        p = self.params.p if p is None else p
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        query = validate_query(query, self.dim)
+        k = min(k, self.n)
+
+        q_proj = self._project_queries(query[None, :])[0]
+        q_l1 = float(np.abs(query).sum())
+        outcome = self.quickprobe.probe(q_proj, q_l1, c, p)
+        return self._search_core(query, q_proj, outcome, k, c, p)
+
+    def search_many(
+        self,
+        queries: np.ndarray,
+        k: int = 1,
+        c: float | None = None,
+        p: float | None = None,
+    ) -> BatchResult:
+        """c-k-AMIP search for a whole query batch (bit-identical to looping
+        :meth:`search`).
+
+        The batch-wide work runs vectorized — one GEMM projects every query,
+        and Quick-Probe scans the group summaries for the whole batch in one
+        pass — while the adaptive range-search/verification core (radii,
+        stopping conditions, compensation) stays per query because each query
+        terminates at its own radius.
+
+        Args:
+            queries: ``(n_q, d)`` query batch (a single ``(d,)`` query is
+                promoted to one row).
+            k: results per query.
+            c: batch-wide approximation-ratio override.
+            p: batch-wide guarantee-probability override.
+        """
+        c = self.params.c if c is None else c
+        p = self.params.p if p is None else p
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        queries = validate_queries(queries, self.dim)
+        k = min(k, self.n)
+
+        q_projs = self._project_queries(queries)
+        q_l1s = np.array([float(np.abs(q).sum()) for q in queries])
+        outcomes = self.quickprobe.probe_many(q_projs, q_l1s, c, p)
+        results = [
+            self._search_core(query, q_projs[i], outcomes[i], k, c, p)
+            for i, query in enumerate(queries)
+        ]
+        return BatchResult.from_results(results)
 
     def search_incremental(
         self,
@@ -402,14 +394,14 @@ class ProMIPS:
         query = validate_query(query, self.dim)
         k = min(k, self.n)
 
-        q_proj = self.projection.project(query)
+        q_proj = self._project_queries(query[None, :])[0]
         q_norm_sq = float(query @ query)
 
         tree_counter = AccessCounter()
         orig_reader = self.orig_store.reader()
         proj_reader = self.proj_store.reader()
 
-        topk = _TopK(k)
+        topk = TopK(k)
         verified = 0
         stopped_by = "exhausted"
         for pid, dist in self.ring.knn_iterate(q_proj, tree_counter, proj_reader):

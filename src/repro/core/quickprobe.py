@@ -79,44 +79,101 @@ class QuickProbe:
         Returns:
             The located point (Test A pass) or the best fallback.
         """
+        query_projected = np.asarray(query_projected, dtype=np.float64).reshape(-1)
+        return self.probe_many(
+            query_projected[None, :], np.array([query_l1]), c, p
+        )[0]
+
+    def probe_many(
+        self,
+        queries_projected: np.ndarray,
+        query_l1s: np.ndarray,
+        c: float,
+        p: float,
+    ) -> list[ProbeOutcome]:
+        """Run Algorithm 2 for a whole batch with one vectorized group scan.
+
+        The Theorem 3 lower bounds stay per-query multiplies (their XOR
+        matrix is query-specific), but the scan itself — ordering groups by
+        LB, evaluating Test A on each min-ℓ1 representative, finding the
+        first pass or the best fallback — is a handful of array operations
+        over the ``(n_q, G)`` value matrix instead of a Python loop per
+        group.  Decisions are elementwise/argsort-based, so each row matches
+        the single-query probe bit for bit.
+
+        Args:
+            queries_projected: ``(n_q, m)`` projected queries ``P(q)``.
+            query_l1s: ``(n_q,)`` original 1-norms ``‖q‖₁``.
+            c: approximation ratio (0 < c < 1).
+            p: guaranteed probability (0 < p < 1).
+
+        Returns:
+            One :class:`ProbeOutcome` per query, in batch order.
+        """
         if not 0.0 < c < 1.0:
             raise ValueError(f"approximation ratio must satisfy 0 < c < 1, got {c}")
         if not 0.0 < p < 1.0:
             raise ValueError(f"guaranteed probability must satisfy 0 < p < 1, got {p}")
-        if query_l1 < 0:
-            raise ValueError(f"query_l1 must be non-negative, got {query_l1}")
+        queries_projected = np.atleast_2d(
+            np.asarray(queries_projected, dtype=np.float64)
+        )
+        query_l1s = np.asarray(query_l1s, dtype=np.float64).reshape(-1)
+        if query_l1s.shape[0] != queries_projected.shape[0]:
+            raise ValueError(
+                f"need one l1 norm per query, got {query_l1s.shape[0]} "
+                f"for {queries_projected.shape[0]} queries"
+            )
+        if np.any(query_l1s < 0):
+            raise ValueError("query_l1 must be non-negative")
+
+        # Theorem 3 bounds, one row per query (query-specific XOR ⇒ per-query
+        # multiply; each call is identical to the one `probe` would make).
+        lbs = np.stack(
+            [self._groups.lower_bounds(q) for q in queries_projected]
+        )  # (n_q, G)
 
         # Test A is a monotone comparison: Ψm(v) ≥ p  ⇔  v ≥ Ψm⁻¹(p).
         threshold = self._chi2.ppf(p)
-        lbs = self._groups.lower_bounds(query_projected)
-        order = np.argsort(lbs, kind="stable")
-
-        # Test A value of every group's min-ℓ1 representative; examined in
-        # ascending-LB order to honour Algorithm 2 (nearest group first ⇒
-        # the tightest admissible search radius).
-        denominators = c * (self._groups.min_l1 + query_l1) ** 2
+        denominators = c * (self._groups.min_l1[None, :] + query_l1s[:, None]) ** 2
         with np.errstate(divide="ignore"):
             values = np.where(denominators > 0.0, lbs**2 / denominators, np.inf)
 
-        best_value = -np.inf
-        best_group = int(order[0])
-        examined = 0
-        for g in order.tolist():
-            examined += 1
-            value = float(values[g])
-            if value >= threshold:
-                return ProbeOutcome(
-                    point_id=int(self._groups.min_l1_ids[g]),
-                    test_value=value,
-                    passed=True,
-                    groups_examined=examined,
-                )
-            if value >= best_value:
-                best_value = value
-                best_group = g
-        return ProbeOutcome(
-            point_id=int(self._groups.min_l1_ids[best_group]),
-            test_value=best_value,
-            passed=False,
-            groups_examined=examined,
+        # Scan groups in ascending-LB order (Algorithm 2: nearest group first
+        # ⇒ the tightest admissible search radius).  `passed` rows return the
+        # first group reaching the threshold; the rest fall back to the best
+        # test value, ties resolved to the last group in scan order (matching
+        # the sequential `value >= best` update rule).
+        n_q, n_groups = values.shape
+        order = np.argsort(lbs, axis=1, kind="stable")
+        values_ordered = np.take_along_axis(values, order, axis=1)
+        passing = values_ordered >= threshold
+        any_pass = passing.any(axis=1)
+        first_pass = np.argmax(passing, axis=1)
+        best_value = values_ordered.max(axis=1)
+        last_best = n_groups - 1 - np.argmax(
+            (values_ordered == best_value[:, None])[:, ::-1], axis=1
         )
+
+        min_l1_ids = self._groups.min_l1_ids
+        outcomes: list[ProbeOutcome] = []
+        for i in range(n_q):
+            if any_pass[i]:
+                pos = int(first_pass[i])
+                outcomes.append(
+                    ProbeOutcome(
+                        point_id=int(min_l1_ids[order[i, pos]]),
+                        test_value=float(values_ordered[i, pos]),
+                        passed=True,
+                        groups_examined=pos + 1,
+                    )
+                )
+            else:
+                outcomes.append(
+                    ProbeOutcome(
+                        point_id=int(min_l1_ids[order[i, int(last_best[i])]]),
+                        test_value=float(best_value[i]),
+                        passed=False,
+                        groups_examined=n_groups,
+                    )
+                )
+        return outcomes

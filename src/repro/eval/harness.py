@@ -25,6 +25,8 @@ from repro.baselines.exact import ExactMIPS
 from repro.baselines.h2alsh import H2ALSH
 from repro.baselines.pq import PQBasedMIPS
 from repro.baselines.rangelsh import RangeLSH
+from repro.baselines.simhash import SimHashMIPS
+from repro.core.batch import has_native_batch, search_many
 from repro.core.promips import ProMIPS, ProMIPSParams
 from repro.data.datasets import Dataset
 from repro.eval.ground_truth import GroundTruth
@@ -34,9 +36,11 @@ __all__ = [
     "PAGE_LATENCY_SECONDS",
     "BuildReport",
     "QueryReport",
+    "ThroughputReport",
     "MethodRegistry",
     "build_method",
     "run_method",
+    "measure_throughput",
     "default_registry",
 ]
 
@@ -97,12 +101,18 @@ def default_registry(
     c: float = 0.9,
     p: float = 0.5,
     promips_params: ProMIPSParams | None = None,
+    include_extras: bool = False,
 ) -> MethodRegistry:
     """The four methods of the paper under its §VIII-A-4 defaults.
 
     PQ's training-heavy knobs scale with the dataset so that simulated builds
     stay minutes-free while preserving the paper's 16-subspace / 16-probe
     configuration.
+
+    Args:
+        include_extras: also register the off-paper methods ("Exact" and
+            "SimHash") — useful for throughput comparisons where the exact
+            scan's one-GEMM batch path is the reference.
     """
     registry = MethodRegistry()
 
@@ -139,6 +149,14 @@ def default_registry(
     registry.register("H2-ALSH", build_h2alsh)
     registry.register("Range-LSH", build_rangelsh)
     registry.register("PQ-Based", build_pq)
+    if include_extras:
+        registry.register(
+            "Exact", lambda ds, seed: ExactMIPS(ds.data, page_size=ds.page_size)
+        )
+        registry.register(
+            "SimHash",
+            lambda ds, seed: SimHashMIPS(ds.data, rng=seed, page_size=ds.page_size),
+        )
     return registry
 
 
@@ -166,27 +184,47 @@ def run_method(
     method: str = "",
     search_kwargs: dict | None = None,
     page_latency: float = PAGE_LATENCY_SECONDS,
+    batch: bool = False,
 ) -> QueryReport:
-    """Run every workload query at one ``k`` and aggregate the §VIII metrics."""
+    """Run every workload query at one ``k`` and aggregate the §VIII metrics.
+
+    Args:
+        batch: answer the whole workload through the index's ``search_many``
+            path instead of looping ``search``.  Results (and therefore
+            ratio/recall/pages) are bit-identical to the looped path for the
+            natively vectorized methods; only the CPU column changes, which
+            is exactly the quantity batching is meant to improve.
+    """
     if k <= 0:
         raise ValueError(f"k must be positive, got {k}")
     search_kwargs = search_kwargs or {}
     ratios: list[float] = []
     recalls: list[float] = []
     pages: list[int] = []
-    cpu: list[float] = []
     candidates: list[int] = []
-    for qi, query in enumerate(dataset.queries):
-        exact_ids, exact_ips = ground_truth.topk(qi, k)
+
+    if batch:
         start = time.perf_counter()
-        result = index.search(query, k=k, **search_kwargs)
-        cpu.append(time.perf_counter() - start)
+        results = search_many(index, dataset.queries, k=k, **search_kwargs)
+        elapsed = time.perf_counter() - start
+        cpu_per_query = [elapsed / len(results)] * len(results)
+        per_query = list(results)
+    else:
+        cpu_per_query = []
+        per_query = []
+        for query in dataset.queries:
+            start = time.perf_counter()
+            per_query.append(index.search(query, k=k, **search_kwargs))
+            cpu_per_query.append(time.perf_counter() - start)
+
+    for qi, result in enumerate(per_query):
+        exact_ids, exact_ips = ground_truth.topk(qi, k)
         ratios.append(overall_ratio(result.scores, exact_ips))
         recalls.append(recall(result.ids, exact_ids))
         pages.append(result.stats.pages)
         candidates.append(result.stats.candidates)
     mean_pages = float(np.mean(pages))
-    mean_cpu = float(np.mean(cpu))
+    mean_cpu = float(np.mean(cpu_per_query))
     return QueryReport(
         method=method,
         dataset=dataset.name,
@@ -197,4 +235,77 @@ def run_method(
         cpu_ms=mean_cpu * 1e3,
         total_ms=(mean_cpu + mean_pages * page_latency) * 1e3,
         candidates=float(np.mean(candidates)),
+        extras={"batch": batch},
+    )
+
+
+@dataclass
+class ThroughputReport:
+    """Single-vs-batch throughput of one method on one workload.
+
+    Attributes:
+        loop_qps: queries/sec answering the workload one ``search`` at a time.
+        batch_qps: queries/sec through ``search_many``.
+        speedup: ``batch_qps / loop_qps``.
+        native_batch: whether the index has a vectorized ``search_many`` (as
+            opposed to the generic loop fallback).
+    """
+
+    method: str
+    dataset: str
+    n_queries: int
+    k: int
+    loop_qps: float
+    batch_qps: float
+    speedup: float
+    native_batch: bool
+
+
+def measure_throughput(
+    index: MIPSIndex,
+    queries: np.ndarray,
+    k: int,
+    method: str = "",
+    dataset: str = "",
+    repeats: int = 3,
+    search_kwargs: dict | None = None,
+) -> ThroughputReport:
+    """Time the looped single-query path against ``search_many``.
+
+    Both paths answer the identical workload after one untimed warm-up each
+    (first calls pay allocator and BLAS-thread start-up costs); the best of
+    ``repeats`` runs is kept (min is the standard noise-robust choice).
+    """
+    if repeats <= 0:
+        raise ValueError(f"repeats must be positive, got {repeats}")
+    search_kwargs = search_kwargs or {}
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    n_queries = queries.shape[0]
+
+    index.search(queries[0], k=k, **search_kwargs)
+    loop_best = np.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for query in queries:
+            index.search(query, k=k, **search_kwargs)
+        loop_best = min(loop_best, time.perf_counter() - start)
+
+    search_many(index, queries, k=k, **search_kwargs)
+    batch_best = np.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        search_many(index, queries, k=k, **search_kwargs)
+        batch_best = min(batch_best, time.perf_counter() - start)
+
+    loop_qps = n_queries / loop_best if loop_best > 0 else float("inf")
+    batch_qps = n_queries / batch_best if batch_best > 0 else float("inf")
+    return ThroughputReport(
+        method=method,
+        dataset=dataset,
+        n_queries=n_queries,
+        k=k,
+        loop_qps=loop_qps,
+        batch_qps=batch_qps,
+        speedup=batch_qps / loop_qps if loop_qps > 0 else float("inf"),
+        native_batch=has_native_batch(index),
     )

@@ -60,3 +60,18 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "17770" in out  # paper profile
         assert "300" in out    # sim override
+
+    def test_throughput_runs(self, capsys):
+        rc = main([
+            "throughput", "--dataset", "netflix", "--n", "600", "--dim", "16",
+            "--queries", "8", "--k", "5", "--methods", "Exact,SimHash",
+            "--repeats", "1",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "batch_qps" in out and "Exact" in out and "native" in out
+
+    def test_throughput_defaults(self):
+        args = build_parser().parse_args(["throughput"])
+        assert args.methods == "all"
+        assert args.k == 10

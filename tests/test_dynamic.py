@@ -146,3 +146,22 @@ class TestLifecycle:
         before = index.index_size_bytes()
         index.insert(data[900])
         assert index.index_size_bytes() > before
+
+
+class TestDeleteLastPoint:
+    def test_delete_validates_before_mutating(self, latent_small):
+        """Deleting the last live point must raise *without* tombstoning it,
+        leaving the structure fully usable."""
+        data, _ = latent_small
+        index = DynamicProMIPS(data[:3], PARAMS, rng=1)
+        index.delete(0)
+        index.delete(1)
+        with pytest.raises(ValueError):
+            index.delete(2)
+        # The refused delete left no tombstone behind: the survivor is still
+        # live, searchable, and deletable-checkable again.
+        assert index.n_live == 1
+        result = index.search(data[2], k=1)
+        assert result.ids.tolist() == [2]
+        with pytest.raises(ValueError):
+            index.delete(2)

@@ -1,0 +1,117 @@
+"""Tests for repro.core.engine — the shared batch kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engine import (
+    GEMM_PANEL,
+    TopK,
+    batch_inner_products,
+    batch_topk,
+    project_batch,
+    topk_ids_scores,
+)
+
+
+@pytest.fixture(scope="module")
+def blocks():
+    gen = np.random.default_rng(42)
+    data = gen.standard_normal((500, 19))
+    queries = gen.standard_normal((64, 19))
+    return data, queries
+
+
+class TestBatchInnerProducts:
+    def test_values_match_reference(self, blocks):
+        data, queries = blocks
+        out = batch_inner_products(data, queries)
+        assert out.shape == (500, 64)
+        assert np.allclose(out, data @ queries.T)
+
+    def test_columns_invariant_to_batch_width(self, blocks):
+        """The bit-identity keystone: a query's scores must not depend on how
+        many other queries shared its GEMM, nor where in a panel it sat."""
+        data, queries = blocks
+        full = batch_inner_products(data, queries)
+        for width in (1, 2, 3, GEMM_PANEL, GEMM_PANEL + 1, 17):
+            sub = batch_inner_products(data, queries[:width])
+            assert np.array_equal(sub, full[:, :width]), f"width {width} diverged"
+
+    def test_columns_invariant_at_hostile_shapes(self):
+        """Shapes where raw variable-width GEMMs demonstrably diverge on
+        OpenBLAS (e.g. 512×64 data) must stay invariant under the fixed-panel
+        scheme."""
+        gen = np.random.default_rng(5)
+        for n, d in [(512, 64), (32, 49), (5, 64)]:
+            data = gen.standard_normal((n, d))
+            queries = gen.standard_normal((300, d))
+            full = batch_inner_products(data, queries)
+            for i in (0, 1, GEMM_PANEL - 1, GEMM_PANEL, 137, 299):
+                one = batch_inner_products(data, queries[i])
+                assert np.array_equal(one[:, 0], full[:, i]), (n, d, i)
+
+    def test_single_query_padding(self, blocks):
+        data, queries = blocks
+        one = batch_inner_products(data, queries[0])
+        assert one.shape == (500, 1)
+        assert np.array_equal(one[:, 0], batch_inner_products(data, queries)[:, 0])
+
+    def test_panel_constant(self):
+        assert GEMM_PANEL >= 2
+
+
+class TestProjectBatch:
+    def test_rows_invariant_to_batch_size(self, blocks):
+        _, queries = blocks
+        matrix = np.random.default_rng(7).standard_normal((5, 19))
+        full = project_batch(matrix, queries)
+        assert full.shape == (64, 5)
+        one = project_batch(matrix, queries[:1])
+        assert np.array_equal(one[0], full[0])
+        assert np.allclose(full, queries @ matrix.T)
+
+
+class TestTopk:
+    def test_matches_sort_reference(self):
+        gen = np.random.default_rng(0)
+        ips = gen.standard_normal(200)
+        ids, scores = topk_ids_scores(ips, 10)
+        ref = np.argsort(-ips, kind="stable")[:10]
+        assert np.array_equal(ids, ref)
+        assert np.array_equal(scores, ips[ref])
+
+    def test_ties_break_by_ascending_id(self):
+        ips = np.array([1.0, 2.0, 2.0, 1.0, 2.0])
+        ids, _ = topk_ids_scores(ips, 3)
+        assert ids.tolist() == [1, 2, 4]
+
+    def test_k_capped_at_n(self):
+        ids, scores = topk_ids_scores(np.array([3.0, 1.0]), 10)
+        assert ids.tolist() == [0, 1]
+
+    def test_batch_rows_match_single(self):
+        gen = np.random.default_rng(3)
+        scores = gen.standard_normal((7, 150))
+        ids, out = batch_topk(scores, 9)
+        assert ids.shape == (7, 9)
+        for i in range(7):
+            ref_ids, ref_scores = topk_ids_scores(scores[i], 9)
+            assert np.array_equal(ids[i], ref_ids)
+            assert np.array_equal(out[i], ref_scores)
+
+
+class TestTopKHeap:
+    def test_tracks_kth_and_dedupes(self):
+        topk = TopK(2)
+        assert topk.kth_ip == -np.inf
+        topk.offer(1.0, 0)
+        topk.offer(3.0, 1)
+        topk.offer(3.0, 1)  # duplicate id ignored
+        assert topk.full
+        assert topk.kth_ip == 1.0
+        topk.offer(2.0, 2)
+        ids, ips = topk.result()
+        assert ids.tolist() == [1, 2]
+        assert ips.tolist() == [3.0, 2.0]
