@@ -26,7 +26,7 @@ def bench_fig10_impact_c(benchmark):
         for c in C_VALUES:
             assert reports[c].overall_ratio >= c, (
                 f"{dataset} c={c}: measured ratio {reports[c].overall_ratio:.4f} "
-                f"violates the guarantee band"
+                "violates the guarantee band"
             )
         # Smaller c ⇒ no more pages than larger c (Fig. 10(b) trend).
         assert reports[0.7].pages <= reports[0.9].pages * 1.05

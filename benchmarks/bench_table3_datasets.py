@@ -5,7 +5,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from common import DATASET_NAMES, N_QUERIES, emit, get_dataset, single_query_callable
+from common import DATASET_NAMES, N_QUERIES, emit, get_dataset
 from repro.data.datasets import DATASETS, table3_rows
 from repro.eval.reporting import format_table
 

@@ -36,6 +36,10 @@ def main() -> None:
 
     ground_truth = GroundTruth(dataset.data, dataset.queries, k_max=10)
     registry = default_registry()
+    # Every registry entry is a declarative spec — print what will be built.
+    for method in registry.names():
+        print(f"  {method:10s} -> {registry.spec_for(method, dataset)}")
+    print()
     rows = []
     for method in registry.names():
         index, build = build_method(registry, method, dataset, seed=1)

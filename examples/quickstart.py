@@ -1,14 +1,18 @@
-"""Quickstart: build a ProMIPS index and run a probability-guaranteed
-c-k-AMIP search.
+"""Quickstart: build a ProMIPS index from a declarative spec, run a
+probability-guaranteed c-k-AMIP search, and round-trip the index through
+the universal persistence layer.
 
 Run:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
+import tempfile
+from pathlib import Path
+
 import numpy as np
 
-from repro import ExactMIPS, ProMIPS, ProMIPSParams
+from repro import ExactMIPS, build_index, load_index, save_index
 from repro.data import make_latent_factor
 
 
@@ -20,13 +24,16 @@ def main() -> None:
     data, _ = make_latent_factor(5000, 64, rng)
     query = data[rng.integers(5000)]
 
-    # Build the index.  c = approximation ratio, p = guarantee probability:
-    # each returned point satisfies <o, q> >= c * <o*, q> with probability
-    # at least p.  m (projected dims), kp/Nkey/ksp (iDistance layout) and
-    # epsilon (ring width) are derived automatically.
-    params = ProMIPSParams(c=0.9, p=0.5)
-    index = ProMIPS.build(data, params, rng=1)
+    # Build the index from a spec string.  c = approximation ratio, p =
+    # guarantee probability: each returned point satisfies
+    # <o, q> >= c * <o*, q> with probability at least p.  m (projected
+    # dims), kp/Nkey/ksp (iDistance layout) and epsilon (ring width) are
+    # derived automatically.  The same call builds any registered method —
+    # try "h2alsh(c=0.9)" or "simhash(n_bits=32)".
+    index = build_index("promips(c=0.9, p=0.5)", data, rng=1)
+    params = index.params
     print(f"built: {index}")
+    print(f"spec:  {index.spec()}")
     print(f"index size: {index.index_size_bytes() / 1024:.1f} KiB "
           f"(data: {data.nbytes / 1024:.1f} KiB)")
 
@@ -46,6 +53,15 @@ def main() -> None:
     print(f"pages read: {result.stats.pages} (exact scan: {exact.stats.pages})")
     print(f"candidates verified: {result.stats.candidates} / {len(data)}")
     print(f"stopped by: {result.stats.extras['stopped_by']}")
+
+    # Persist the expensive pre-process and reload it (works for every
+    # registered method, not just ProMIPS) — answers are bit-identical.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = save_index(index, Path(tmp) / "promips.npz")
+        restored = load_index(path)
+        again = restored.search(query, k=10)
+        print(f"\nsaved to {path.name} ({path.stat().st_size / 1024:.0f} KiB) "
+              f"and reloaded: identical={np.array_equal(result.ids, again.ids)}")
 
 
 if __name__ == "__main__":

@@ -2,6 +2,10 @@
 
 Public API:
 
+* :class:`repro.IndexSpec` / :func:`repro.build_index` — the declarative
+  factory API: every method builds from a ``"name(key=value, ...)"`` spec.
+* :func:`repro.save_index` / :func:`repro.load_index` — universal
+  persistence: any built index round-trips through one ``.npz`` envelope.
 * :class:`repro.ProMIPS` / :class:`repro.ProMIPSParams` — the paper's method.
 * :class:`repro.SearchResult` / :class:`repro.SearchStats` /
   :class:`repro.BatchResult` — common result types.
@@ -17,22 +21,25 @@ Every index answers single queries (``search``) and query batches
 Quickstart:
 
 >>> import numpy as np
->>> from repro import ProMIPS, ProMIPSParams
+>>> import repro
 >>> data = np.random.default_rng(0).standard_normal((1000, 32))
->>> index = ProMIPS.build(data, ProMIPSParams(c=0.9, p=0.5), rng=1)
+>>> index = repro.build_index("promips(c=0.9, p=0.5)", data, rng=1)
 >>> result = index.search(data[0], k=5)
 >>> len(result.ids)
 5
 >>> batch = index.search_many(data[:8], k=5)
 >>> batch.ids.shape
 (8, 5)
+>>> path = repro.save_index(index, "/tmp/idx.npz")  # doctest: +SKIP
+>>> repro.load_index(path).search(data[0], k=5).ids  # doctest: +SKIP
 """
 
 from repro.api import BatchResult, MIPSIndex, SearchResult, SearchStats
 from repro.core.batch import BatchStats, search_batch, search_many
 from repro.core.dynamic import DynamicProMIPS
-from repro.core.persist import load_index, save_index
+from repro.core.persist import inspect_index, load_index, save_index
 from repro.core.promips import ProMIPS, ProMIPSParams
+from repro.core.rng import resolve_rng
 from repro.baselines.exact import ExactMIPS
 from repro.baselines.h2alsh import H2ALSH
 from repro.baselines.pq import PQBasedMIPS
@@ -40,14 +47,27 @@ from repro.baselines.rangelsh import RangeLSH
 from repro.baselines.simhash import SimHashMIPS
 from repro.data.datasets import load_dataset
 from repro.eval.harness import default_registry, measure_throughput
+from repro.spec import (
+    IndexSpec,
+    build_index,
+    get_method,
+    register_method,
+    registered_methods,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "MIPSIndex",
     "SearchResult",
     "SearchStats",
     "BatchResult",
+    "IndexSpec",
+    "build_index",
+    "get_method",
+    "register_method",
+    "registered_methods",
+    "resolve_rng",
     "ProMIPS",
     "ProMIPSParams",
     "BatchStats",
@@ -56,6 +76,7 @@ __all__ = [
     "DynamicProMIPS",
     "load_index",
     "save_index",
+    "inspect_index",
     "ExactMIPS",
     "H2ALSH",
     "PQBasedMIPS",

@@ -10,7 +10,24 @@ Batch execution is first-class: the :class:`MIPSIndex` protocol includes
 so every index answers batches even before it grows a natively vectorized
 path.  Native implementations (ProMIPS, Exact, PQ, SimHash) route both the
 single and the batch path through ``repro.core.engine``, which makes
-``search_many(Q, k)`` bit-identical to looping ``search(q, k)``.
+``search_many(Q, k)`` bit-identical to looping ``search(q, k)``.  An empty
+``(0, d)`` batch is valid everywhere and returns a ``(0, 0)``-shaped
+:class:`BatchResult`.
+
+Beyond search, every method implements the **registry contract** of
+:mod:`repro.spec`: the class registers itself under a canonical method name
+with the ``@register_method`` decorator and provides
+
+* ``from_spec(data, spec, rng=None)`` — build from a declarative
+  :class:`repro.spec.IndexSpec`;
+* ``spec()`` — the round-trippable current configuration;
+* ``state()`` / ``from_state(spec, state)`` — the built index as plain
+  arrays, and its bit-identical reconstruction.
+
+``repro.build_index`` dispatches specs through the registry, and
+``repro.save_index`` / ``repro.load_index`` persist **any** registered
+method through one versioned ``.npz`` envelope (see
+:mod:`repro.core.persist`).
 """
 
 from __future__ import annotations
@@ -108,10 +125,23 @@ class BatchResult:
             )
 
     @classmethod
+    def empty(cls) -> "BatchResult":
+        """The answer to an empty query batch: a ``(0, 0)``-shaped result."""
+        return cls(
+            ids=np.empty((0, 0), dtype=np.int64),
+            scores=np.empty((0, 0), dtype=np.float64),
+            stats=[],
+        )
+
+    @classmethod
     def from_results(cls, results: list[SearchResult]) -> "BatchResult":
-        """Assemble a batch from per-query results (the fallback adapter)."""
+        """Assemble a batch from per-query results (the fallback adapter).
+
+        An empty result list assembles to the empty batch, mirroring how
+        ``search_many`` treats an empty query batch.
+        """
         if not results:
-            raise ValueError("results must be non-empty")
+            return cls.empty()
         width = max(len(r) for r in results)
         ids = np.full((len(results), width), cls.PAD_ID, dtype=np.int64)
         scores = np.full((len(results), width), -np.inf, dtype=np.float64)
@@ -178,13 +208,20 @@ def validate_query(query: np.ndarray, dim: int) -> np.ndarray:
 
 
 def validate_queries(queries: np.ndarray, dim: int) -> np.ndarray:
-    """Normalise a batch to a finite, non-empty ``(n_q, dim)`` float64 array.
+    """Normalise a batch to a finite ``(n_q, dim)`` float64 array.
 
-    A single ``(dim,)`` query is promoted to a one-row batch.
+    A single ``(dim,)`` query is promoted to a one-row batch.  An empty
+    batch is valid and normalises to ``(0, dim)`` — every ``search_many``
+    answers it with the empty :class:`BatchResult`.
     """
-    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
-    if queries.ndim != 2 or queries.shape[0] == 0:
-        raise ValueError(f"queries must be a non-empty (n_q, d) array, got {queries.shape}")
+    queries = np.asarray(queries, dtype=np.float64)
+    if queries.ndim == 1 and queries.size == 0:
+        return np.empty((0, dim), dtype=np.float64)
+    queries = np.atleast_2d(queries)
+    if queries.ndim != 2:
+        raise ValueError(f"queries must be a (n_q, d) array, got {queries.shape}")
+    if queries.shape[0] == 0:
+        return np.empty((0, dim), dtype=np.float64)
     if queries.shape[1] != dim:
         raise ValueError(
             f"queries have dimension {queries.shape[1]}, index expects {dim}"

@@ -36,6 +36,7 @@ from repro.api import BatchSearchMixin, SearchResult, SearchStats, validate_quer
 from repro.baselines.e2lsh import E2LSH
 from repro.baselines.rangelsh import RangeLSH
 from repro.baselines.simhash import SimHash, hamming_distance
+from repro.core.rng import resolve_rng
 from repro.storage.pagefile import DEFAULT_PAGE_SIZE, VectorStore
 
 __all__ = ["L2ALSH", "SignALSH", "simple_lsh"]
@@ -85,8 +86,7 @@ class L2ALSH(BatchSearchMixin):
             raise ValueError(f"U must lie in (0, 1), got {u}")
         if m <= 0:
             raise ValueError(f"m must be positive, got {m}")
-        if not isinstance(rng, np.random.Generator):
-            rng = np.random.default_rng(rng)
+        rng = resolve_rng(rng)
         data = np.asarray(data, dtype=np.float64)
         if data.ndim != 2 or data.shape[0] == 0:
             raise ValueError(f"data must be a non-empty (n, d) array, got {data.shape}")
@@ -168,8 +168,7 @@ class SignALSH(BatchSearchMixin):
             raise ValueError(f"U must lie in (0, 1), got {u}")
         if m <= 0:
             raise ValueError(f"m must be positive, got {m}")
-        if not isinstance(rng, np.random.Generator):
-            rng = np.random.default_rng(rng)
+        rng = resolve_rng(rng)
         data = np.asarray(data, dtype=np.float64)
         if data.ndim != 2 or data.shape[0] == 0:
             raise ValueError(f"data must be a non-empty (n, d) array, got {data.shape}")

@@ -23,6 +23,7 @@ from repro.api import (
     validate_queries,
 )
 from repro.core.engine import batch_inner_products, batch_topk, topk_ids_scores
+from repro.spec import IndexSpec, register_method
 from repro.storage.pagefile import DEFAULT_PAGE_SIZE, VectorStore
 
 __all__ = ["ExactMIPS", "exact_topk"]
@@ -33,6 +34,7 @@ def exact_topk(data: np.ndarray, query: np.ndarray, k: int) -> tuple[np.ndarray,
     return topk_ids_scores(data @ query, k)
 
 
+@register_method("exact", aliases=("Exact", "ExactMIPS"))
 class ExactMIPS:
     """Brute-force MIP index with paged accounting.
 
@@ -47,7 +49,30 @@ class ExactMIPS:
             raise ValueError(f"data must be a non-empty (n, d) array, got {data.shape}")
         self._data = data
         self.n, self.dim = data.shape
+        self.page_size = int(page_size)
         self._store = VectorStore(data, page_size, label="exact")
+
+    # ------------------------------------------------------- registry contract
+
+    @classmethod
+    def from_spec(
+        cls,
+        data: np.ndarray,
+        spec: IndexSpec,
+        rng: np.random.Generator | int | None = None,
+    ) -> "ExactMIPS":
+        """Build from a spec, e.g. ``exact(page_size=4096)`` (rng unused)."""
+        return cls(data, **spec.params)
+
+    def spec(self) -> IndexSpec:
+        return IndexSpec("exact", {"page_size": self.page_size})
+
+    def state(self) -> dict[str, np.ndarray]:
+        return {"data": self._data}
+
+    @classmethod
+    def from_state(cls, spec: IndexSpec, state: dict[str, np.ndarray]) -> "ExactMIPS":
+        return cls(np.asarray(state["data"], dtype=np.float64), **spec.params)
 
     def index_size_bytes(self) -> int:
         """An exact scan keeps no auxiliary structures."""
@@ -76,6 +101,8 @@ class ExactMIPS:
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
         queries = validate_queries(queries, self.dim)
+        if queries.shape[0] == 0:
+            return BatchResult.empty()
         reader = self._store.reader()
         data = reader.scan_all()
         # The engine already scores in fixed-width panels; this outer block

@@ -20,7 +20,6 @@ transformed shells are what lives on disk.
 from __future__ import annotations
 
 import heapq
-import math
 
 import numpy as np
 
@@ -31,6 +30,8 @@ from repro.baselines.transforms import (
     qnf_transform_data,
     qnf_transform_query,
 )
+from repro.core.rng import resolve_rng
+from repro.spec import IndexSpec, register_method
 from repro.storage.pagefile import DEFAULT_PAGE_SIZE, VectorStore
 
 __all__ = ["H2ALSH"]
@@ -47,6 +48,7 @@ class _Shell:
         self.store = store
 
 
+@register_method("h2alsh", aliases=("H2-ALSH", "H2ALSH"))
 class H2ALSH(BatchSearchMixin):
     """Homocentric-hypersphere ALSH with QNF transform and QALSH shells.
 
@@ -59,6 +61,8 @@ class H2ALSH(BatchSearchMixin):
         max_shells: safety cap; the last shell absorbs any remainder.
         min_shell_size: shells smaller than this are merged into the next one
             (QALSH parameter derivation degenerates on singleton shells).
+        shell_vectors: pre-drawn QALSH projection vectors, one array per
+            shell (persistence path); when given, ``rng`` is unused.
     """
 
     def __init__(
@@ -70,13 +74,13 @@ class H2ALSH(BatchSearchMixin):
         page_size: int = DEFAULT_PAGE_SIZE,
         max_shells: int = 64,
         min_shell_size: int = 16,
+        shell_vectors: list[np.ndarray] | None = None,
     ) -> None:
         if not 0.0 < c < 1.0:
             raise ValueError(f"approximation ratio must satisfy 0 < c < 1, got {c}")
         if c0 <= 1.0:
             raise ValueError(f"c0 must exceed 1, got {c0}")
-        if not isinstance(rng, np.random.Generator):
-            rng = np.random.default_rng(rng)
+        rng = resolve_rng(rng)
         data = np.asarray(data, dtype=np.float64)
         if data.ndim != 2 or data.shape[0] == 0:
             raise ValueError(f"data must be a non-empty (n, d) array, got {data.shape}")
@@ -85,6 +89,8 @@ class H2ALSH(BatchSearchMixin):
         self.c = float(c)
         self.c0 = float(c0)
         self.page_size = int(page_size)
+        self.max_shells = int(max_shells)
+        self.min_shell_size = int(min_shell_size)
 
         norms = np.linalg.norm(data, axis=1)
         desc = np.argsort(-norms, kind="stable")
@@ -106,7 +112,17 @@ class H2ALSH(BatchSearchMixin):
             shell_data = data[ids]
             transformed, used_norm = qnf_transform_data(shell_data, max_norm or None)
             params = derive_qalsh_params(len(ids), c=self.c0)
-            qalsh = QALSH(transformed, rng, params=params, page_size=page_size)
+            vectors = None
+            if shell_vectors is not None:
+                if len(self.shells) >= len(shell_vectors):
+                    raise ValueError(
+                        f"got {len(shell_vectors)} shell_vectors but the data "
+                        f"partitions into more shells"
+                    )
+                vectors = shell_vectors[len(self.shells)]
+            qalsh = QALSH(
+                transformed, rng, params=params, page_size=page_size, vectors=vectors
+            )
             store = VectorStore(
                 transformed, page_size, label=f"h2alsh-shell{len(self.shells)}"
             )
@@ -115,10 +131,63 @@ class H2ALSH(BatchSearchMixin):
                        qalsh=qalsh, store=store)
             )
             start = end
+        if shell_vectors is not None and len(shell_vectors) != len(self.shells):
+            raise ValueError(
+                f"got {len(shell_vectors)} shell_vectors for {len(self.shells)} shells"
+            )
 
     @property
     def n_shells(self) -> int:
         return len(self.shells)
+
+    # ------------------------------------------------------- registry contract
+
+    @classmethod
+    def from_spec(
+        cls,
+        data: np.ndarray,
+        spec: IndexSpec,
+        rng: np.random.Generator | int | None = None,
+    ) -> "H2ALSH":
+        """Build from a spec, e.g. ``h2alsh(c=0.9, c0=2.0)``."""
+        return cls(data, rng=resolve_rng(rng), **spec.params)
+
+    def spec(self) -> IndexSpec:
+        return IndexSpec(
+            "h2alsh",
+            {
+                "c": self.c,
+                "c0": self.c0,
+                "page_size": self.page_size,
+                "max_shells": self.max_shells,
+                "min_shell_size": self.min_shell_size,
+            },
+        )
+
+    def state(self) -> dict[str, np.ndarray]:
+        """Data + each shell's QALSH projection vectors.
+
+        The shell partition, QNF transforms and hash-table orderings are
+        deterministic given the data and the spec, so the vectors are the
+        only randomness to pin down.
+        """
+        state: dict[str, np.ndarray] = {"data": self._data}
+        for j, shell in enumerate(self.shells):
+            state[f"shell{j}_vectors"] = shell.qalsh.projection_vectors
+        return state
+
+    @classmethod
+    def from_state(cls, spec: IndexSpec, state: dict[str, np.ndarray]) -> "H2ALSH":
+        shell_vectors = []
+        while f"shell{len(shell_vectors)}_vectors" in state:
+            shell_vectors.append(
+                np.asarray(state[f"shell{len(shell_vectors)}_vectors"], np.float64)
+            )
+        return cls(
+            np.asarray(state["data"], dtype=np.float64),
+            shell_vectors=shell_vectors,
+            **spec.params,
+        )
 
     def index_size_bytes(self) -> int:
         """All shells' hash tables — the "large number of hash tables" cost."""

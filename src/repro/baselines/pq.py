@@ -36,6 +36,8 @@ from repro.api import (
 from repro.cluster.kmeans import assign_to_centers, kmeans
 from repro.baselines.transforms import qnf_transform_data, qnf_transform_query
 from repro.core.engine import batch_inner_products
+from repro.core.rng import resolve_rng
+from repro.spec import IndexSpec, register_method
 from repro.storage.pagefile import DEFAULT_PAGE_SIZE, VectorStore
 
 __all__ = ["ProductQuantizer", "train_opq_rotation", "PQBasedMIPS"]
@@ -162,6 +164,7 @@ class _Cell:
         self.list_pages = list_pages
 
 
+@register_method("pq", aliases=("PQ-Based", "PQBased", "PQBasedMIPS"))
 class PQBasedMIPS:
     """The paper's PQ-based baseline: QNF reduction + LOPQ-style IVF search.
 
@@ -201,8 +204,7 @@ class PQBasedMIPS:
         min_local_train: int = 256,
         page_size: int = DEFAULT_PAGE_SIZE,
     ) -> None:
-        if not isinstance(rng, np.random.Generator):
-            rng = np.random.default_rng(rng)
+        rng = resolve_rng(rng)
         data = np.asarray(data, dtype=np.float64)
         if data.ndim != 2 or data.shape[0] == 0:
             raise ValueError(f"data must be a non-empty (n, d) array, got {data.shape}")
@@ -212,6 +214,9 @@ class PQBasedMIPS:
         self.rerank = int(rerank)
         self.rerank_fraction = float(rerank_fraction)
         self.page_size = int(page_size)
+        self.n_centroids = int(n_centroids)
+        self.opq_iters = int(opq_iters)
+        self.min_local_train = int(min_local_train)
 
         transformed, self.max_norm = qnf_transform_data(data)
         tdim = transformed.shape[1]
@@ -264,6 +269,134 @@ class PQBasedMIPS:
         self._center_norm_sq = np.einsum(
             "ij,ij->i", self.coarse_centers, self.coarse_centers
         )
+
+    @property
+    def n_subspaces(self) -> int:
+        return self._global_pq.n_subspaces
+
+    # ------------------------------------------------------- registry contract
+
+    @classmethod
+    def from_spec(
+        cls,
+        data: np.ndarray,
+        spec: IndexSpec,
+        rng: np.random.Generator | int | None = None,
+    ) -> "PQBasedMIPS":
+        """Build from a spec, e.g. ``pq(n_subspaces=16, n_probe=16)``."""
+        return cls(data, rng=resolve_rng(rng), **spec.params)
+
+    def spec(self) -> IndexSpec:
+        """Round-trippable config (``n_coarse`` resolved to the actual count)."""
+        return IndexSpec(
+            "pq",
+            {
+                "n_subspaces": self.n_subspaces,
+                "n_centroids": self.n_centroids,
+                "n_coarse": self.n_coarse,
+                "n_probe": self.n_probe,
+                "rerank": self.rerank,
+                "rerank_fraction": self.rerank_fraction,
+                "opq_iters": self.opq_iters,
+                "min_local_train": self.min_local_train,
+                "page_size": self.page_size,
+            },
+        )
+
+    def state(self) -> dict[str, np.ndarray]:
+        """Every trained artifact: coarse centroids, codebooks (global and
+        per-cell), local rotations, codes, and inverted lists.
+
+        PQ training is the one rng-heavy build in the repository, so unlike
+        the hash-based methods its state stores the trained outputs rather
+        than the seeds that produced them.
+        """
+        state: dict[str, np.ndarray] = {
+            "data": self._data,
+            "coarse_centers": self.coarse_centers,
+            "cell_uses_global": np.array(
+                [cell.pq is self._global_pq for cell in self.cells], dtype=np.uint8
+            ),
+        }
+        for s, codebook in enumerate(self._global_pq.codebooks):
+            state[f"global_cb{s}"] = codebook
+        for j, cell in enumerate(self.cells):
+            state[f"cell{j}_members"] = cell.member_ids
+            state[f"cell{j}_codes"] = cell.codes
+            if cell.pq is not self._global_pq:
+                state[f"cell{j}_rotation"] = cell.rotation
+                for s, codebook in enumerate(cell.pq.codebooks):
+                    state[f"cell{j}_cb{s}"] = codebook
+        return state
+
+    @classmethod
+    def from_state(cls, spec: IndexSpec, state: dict[str, np.ndarray]) -> "PQBasedMIPS":
+        """Reconstruct without re-training (bit-identical ADC scans)."""
+        params = dict(spec.params)
+        self = cls.__new__(cls)
+        data = np.asarray(state["data"], dtype=np.float64)
+        self._data = data
+        self.n, self.dim = data.shape
+        self.n_probe = int(params.get("n_probe", 16))
+        self.rerank = int(params.get("rerank", 10))
+        self.rerank_fraction = float(params.get("rerank_fraction", 0.5))
+        self.page_size = int(params.get("page_size", DEFAULT_PAGE_SIZE))
+        self.n_centroids = int(params.get("n_centroids", 256))
+        self.opq_iters = int(params.get("opq_iters", 2))
+        self.min_local_train = int(params.get("min_local_train", 256))
+        n_subspaces = int(params.get("n_subspaces", 16))
+
+        # QNF scale, exactly as qnf_transform_data derives it.
+        max_norm = float(np.linalg.norm(data, axis=1).max())
+        self.max_norm = max_norm if max_norm > 0 else 1.0
+
+        self.coarse_centers = np.asarray(state["coarse_centers"], dtype=np.float64)
+        self.n_coarse = self.coarse_centers.shape[0]
+        tdim = self.coarse_centers.shape[1]
+
+        def load_pq(prefix: str) -> ProductQuantizer:
+            pq = ProductQuantizer(tdim, n_subspaces, self.n_centroids)
+            pq.codebooks = [
+                np.asarray(state[f"{prefix}cb{s}"], dtype=np.float64)
+                for s in range(pq.n_subspaces)
+            ]
+            return pq
+
+        self._global_pq = load_pq("global_")
+        uses_global = np.asarray(state["cell_uses_global"]).astype(bool)
+        identity = np.eye(tdim)
+        code_bytes_per_point = self._global_pq.n_subspaces * 2 + 4
+        self.cells = []
+        layout_chunks = []
+        for j in range(self.n_coarse):
+            member_ids = np.asarray(state[f"cell{j}_members"], dtype=np.int64)
+            codes = np.asarray(state[f"cell{j}_codes"], dtype=np.uint16)
+            if uses_global[j]:
+                rotation, pq = identity, self._global_pq
+            else:
+                rotation = np.asarray(state[f"cell{j}_rotation"], dtype=np.float64)
+                pq = load_pq(f"cell{j}_")
+            list_pages = -(-int(member_ids.size) * code_bytes_per_point // self.page_size)
+            self.cells.append(
+                _Cell(
+                    center=self.coarse_centers[j],
+                    rotation=rotation,
+                    pq=pq,
+                    codes=codes,
+                    member_ids=member_ids,
+                    list_pages=max(1, list_pages),
+                )
+            )
+            layout_chunks.append(member_ids)
+
+        layout = np.concatenate(layout_chunks).astype(np.int64)
+        self._store = VectorStore(
+            data, self.page_size, layout_order=layout, label="pq-orig"
+        )
+        self._center_norm_sq = np.einsum(
+            "ij,ij->i", self.coarse_centers, self.coarse_centers
+        )
+        return self
 
     def index_size_bytes(self) -> int:
         """Rotations + codebooks + codes + coarse centroids — the "many local

@@ -34,6 +34,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.rng import resolve_rng
 from repro.stats.special import std_normal_cdf
 from repro.storage.pagefile import DEFAULT_PAGE_SIZE, VectorReader
 
@@ -109,16 +110,19 @@ class QALSH:
             shells).
         params: derived :class:`QALSHParams`; ``None`` uses
             :func:`derive_qalsh_params` defaults.
-        rng: generator for the projection vectors.
+        rng: generator or seed for the projection vectors.
         page_size: leaf page size for page accounting.
+        vectors: pre-drawn ``(n_hash, d)`` projection vectors (persistence
+            path); when given, ``rng`` is unused.
     """
 
     def __init__(
         self,
         points: np.ndarray,
-        rng: np.random.Generator,
+        rng: np.random.Generator | int | None = None,
         params: QALSHParams | None = None,
         page_size: int = DEFAULT_PAGE_SIZE,
+        vectors: np.ndarray | None = None,
     ) -> None:
         points = np.asarray(points, dtype=np.float64)
         if points.ndim != 2 or points.shape[0] == 0:
@@ -129,7 +133,18 @@ class QALSH:
         self.page_size = int(page_size)
         self.entries_per_page = max(1, self.page_size // _ENTRY_BYTES)
 
-        self._vectors = rng.standard_normal((self.params.n_hash, self.dim))
+        if vectors is None:
+            self._vectors = resolve_rng(rng).standard_normal(
+                (self.params.n_hash, self.dim)
+            )
+        else:
+            vectors = np.asarray(vectors, dtype=np.float64)
+            if vectors.shape != (self.params.n_hash, self.dim):
+                raise ValueError(
+                    f"vectors must have shape ({self.params.n_hash}, {self.dim}), "
+                    f"got {vectors.shape}"
+                )
+            self._vectors = vectors
         projections = points @ self._vectors.T  # (n, n_hash)
         self._sorted_proj = np.empty_like(projections.T)
         self._sorted_ids = np.empty((self.params.n_hash, self.n), dtype=np.int64)
@@ -149,6 +164,11 @@ class QALSH:
             height += 1
         self.tree_height = height
         self.leaf_pages_per_table = leaf_pages
+
+    @property
+    def projection_vectors(self) -> np.ndarray:
+        """The ``(n_hash, d)`` projection vectors (persistence state)."""
+        return self._vectors
 
     def index_size_bytes(self) -> int:
         """All hash tables: (projection, id) pairs plus the projection vectors."""
@@ -281,7 +301,8 @@ class QALSH:
             # Degenerate guard: collision threshold never reached (can only
             # happen with extreme parameters); fall back to the single
             # closest projected entry.
-            verify(int(self._sorted_ids[0][min(max(positions[0], 0), self.n - 1)]))
+            fallback = int(self._sorted_ids[0][min(max(int(positions[0]), 0), self.n - 1)])
+            verify_batch(np.array([fallback], dtype=np.int64))
 
         id_arr = np.fromiter(verified.keys(), dtype=np.int64, count=len(verified))
         dist_arr = np.fromiter(verified.values(), dtype=np.float64, count=len(verified))

@@ -33,6 +33,8 @@ from repro.baselines.transforms import (
     simple_lsh_transform_data,
     simple_lsh_transform_query,
 )
+from repro.core.rng import resolve_rng
+from repro.spec import IndexSpec, register_method
 from repro.storage.pagefile import DEFAULT_PAGE_SIZE, VectorStore
 
 __all__ = ["RangeLSH"]
@@ -40,6 +42,7 @@ __all__ = ["RangeLSH"]
 _CODE_BYTES = 2  # 16-bit codes in the paper's configuration
 
 
+@register_method("rangelsh", aliases=("Range-LSH", "RangeLSH", "NormRangingLSH"))
 class RangeLSH(BatchSearchMixin):
     """Norm-ranging LSH with shared SimHash codes and bound-ordered probing.
 
@@ -52,6 +55,8 @@ class RangeLSH(BatchSearchMixin):
         page_size: page size for the accounting.
         candidate_fraction: hard verification budget as a fraction of ``n``
             (the bound-based stop usually fires first).
+        hyperplanes: pre-drawn hyperplane matrix (persistence path); when
+            given, ``rng`` is unused.
     """
 
     def __init__(
@@ -63,6 +68,7 @@ class RangeLSH(BatchSearchMixin):
         n_bits: int = 16,
         page_size: int = DEFAULT_PAGE_SIZE,
         candidate_fraction: float = 0.1,
+        hyperplanes: np.ndarray | None = None,
     ) -> None:
         if not 0.0 < c < 1.0:
             raise ValueError(f"approximation ratio must satisfy 0 < c < 1, got {c}")
@@ -72,8 +78,6 @@ class RangeLSH(BatchSearchMixin):
             raise ValueError(
                 f"candidate_fraction must be in (0, 1], got {candidate_fraction}"
             )
-        if not isinstance(rng, np.random.Generator):
-            rng = np.random.default_rng(rng)
         data = np.asarray(data, dtype=np.float64)
         if data.ndim != 2 or data.shape[0] == 0:
             raise ValueError(f"data must be a non-empty (n, d) array, got {data.shape}")
@@ -89,7 +93,9 @@ class RangeLSH(BatchSearchMixin):
         self._subset_ids = [ids.astype(np.int64) for ids in np.array_split(desc, n_parts)
                             if ids.size]
         self.n_parts = len(self._subset_ids)
-        self.simhash = SimHash(self.dim + 1, n_bits, rng)
+        self.simhash = SimHash(
+            self.dim + 1, n_bits, resolve_rng(rng), hyperplanes=hyperplanes
+        )
 
         self._subset_codes: list[np.ndarray] = []
         self._subset_max_norm = np.empty(self.n_parts)
@@ -105,6 +111,43 @@ class RangeLSH(BatchSearchMixin):
         self._code_pages = [
             -(-ids.size * _CODE_BYTES // page_size) for ids in self._subset_ids
         ]
+
+    # ------------------------------------------------------- registry contract
+
+    @classmethod
+    def from_spec(
+        cls,
+        data: np.ndarray,
+        spec: IndexSpec,
+        rng: np.random.Generator | int | None = None,
+    ) -> "RangeLSH":
+        """Build from a spec, e.g. ``rangelsh(c=0.9, n_parts=32, n_bits=16)``."""
+        return cls(data, rng=resolve_rng(rng), **spec.params)
+
+    def spec(self) -> IndexSpec:
+        return IndexSpec(
+            "rangelsh",
+            {
+                "c": self.c,
+                "n_parts": self.n_parts,
+                "n_bits": self.n_bits,
+                "page_size": self.page_size,
+                "candidate_fraction": self.candidate_fraction,
+            },
+        )
+
+    def state(self) -> dict[str, np.ndarray]:
+        """Data + shared hyperplanes; partition and codes re-derive exactly
+        (the norm ranking and the sign projections are deterministic)."""
+        return {"data": self._data, "hyperplanes": self.simhash.hyperplanes}
+
+    @classmethod
+    def from_state(cls, spec: IndexSpec, state: dict[str, np.ndarray]) -> "RangeLSH":
+        return cls(
+            np.asarray(state["data"], dtype=np.float64),
+            hyperplanes=np.asarray(state["hyperplanes"], dtype=np.float64),
+            **spec.params,
+        )
 
     def index_size_bytes(self) -> int:
         """Bit vectors (b bits per point) + hyperplanes + subset metadata."""

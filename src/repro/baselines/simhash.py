@@ -31,6 +31,8 @@ from repro.baselines.transforms import (
 )
 from repro.core.binary_codes import pack_code
 from repro.core.engine import batch_inner_products
+from repro.core.rng import resolve_rng
+from repro.spec import IndexSpec, register_method
 from repro.storage.pagefile import DEFAULT_PAGE_SIZE, VectorStore
 
 __all__ = ["SimHash", "SimHashMIPS", "hamming_distance", "hamming_to_cosine"]
@@ -53,17 +55,35 @@ class SimHash:
     Args:
         dim: input dimensionality.
         n_bits: code length (≤ 63 so codes pack into one uint64).
-        rng: generator for the Gaussian hyperplanes.
+        rng: generator or seed for the Gaussian hyperplanes.
+        hyperplanes: pre-drawn ``(n_bits, dim)`` hyperplane matrix; when
+            given, ``rng`` is unused (the persistence path restores codes
+            bit-identically this way).
     """
 
-    def __init__(self, dim: int, n_bits: int, rng: np.random.Generator) -> None:
+    def __init__(
+        self,
+        dim: int,
+        n_bits: int,
+        rng: np.random.Generator | int | None = None,
+        hyperplanes: np.ndarray | None = None,
+    ) -> None:
         if dim <= 0:
             raise ValueError(f"dim must be positive, got {dim}")
         if not 1 <= n_bits <= 63:
             raise ValueError(f"n_bits must be in [1, 63], got {n_bits}")
         self.dim = int(dim)
         self.n_bits = int(n_bits)
-        self._hyperplanes = rng.standard_normal((n_bits, dim))
+        if hyperplanes is None:
+            self._hyperplanes = resolve_rng(rng).standard_normal((n_bits, dim))
+        else:
+            hyperplanes = np.asarray(hyperplanes, dtype=np.float64)
+            if hyperplanes.shape != (self.n_bits, self.dim):
+                raise ValueError(
+                    f"hyperplanes must have shape ({self.n_bits}, {self.dim}), "
+                    f"got {hyperplanes.shape}"
+                )
+            self._hyperplanes = hyperplanes
 
     def encode(self, points: np.ndarray) -> np.ndarray:
         """Packed codes for one point ``(d,)`` or a batch ``(n, d)``."""
@@ -93,6 +113,7 @@ class SimHash:
         return f"SimHash(dim={self.dim}, n_bits={self.n_bits})"
 
 
+@register_method("simhash", aliases=("SimHash", "SimHashMIPS"))
 class SimHashMIPS:
     """SimHash MIPS baseline: Simple-LSH codes, Hamming short-list, exact re-rank.
 
@@ -116,6 +137,8 @@ class SimHashMIPS:
         n_bits: code length (≤ 63, packed into one uint64 per point).
         shortlist: re-ranked candidates as a multiple of ``k``.
         page_size: page size for the accounting.
+        hyperplanes: pre-drawn hyperplane matrix (persistence path); when
+            given, ``rng`` is unused.
     """
 
     def __init__(
@@ -125,20 +148,22 @@ class SimHashMIPS:
         n_bits: int = 32,
         shortlist: int = 16,
         page_size: int = DEFAULT_PAGE_SIZE,
+        hyperplanes: np.ndarray | None = None,
     ) -> None:
         if shortlist <= 0:
             raise ValueError(f"shortlist must be positive, got {shortlist}")
-        if not isinstance(rng, np.random.Generator):
-            rng = np.random.default_rng(rng)
         data = np.asarray(data, dtype=np.float64)
         if data.ndim != 2 or data.shape[0] == 0:
             raise ValueError(f"data must be a non-empty (n, d) array, got {data.shape}")
         self._data = data
         self.n, self.dim = data.shape
         self.shortlist = int(shortlist)
+        self.page_size = int(page_size)
 
         transformed, self.max_norm = simple_lsh_transform_data(data)
-        self.simhash = SimHash(self.dim + 1, n_bits, rng)
+        self.simhash = SimHash(
+            self.dim + 1, n_bits, resolve_rng(rng), hyperplanes=hyperplanes
+        )
         self._codes = self.simhash.encode(transformed)
         self._store = VectorStore(data, page_size, label="simhash")
         # Packed codes ship as one uint64 per point.
@@ -147,6 +172,40 @@ class SimHashMIPS:
     @property
     def n_bits(self) -> int:
         return self.simhash.n_bits
+
+    # ------------------------------------------------------- registry contract
+
+    @classmethod
+    def from_spec(
+        cls,
+        data: np.ndarray,
+        spec: IndexSpec,
+        rng: np.random.Generator | int | None = None,
+    ) -> "SimHashMIPS":
+        """Build from a spec, e.g. ``simhash(n_bits=32, shortlist=16)``."""
+        return cls(data, rng=resolve_rng(rng), **spec.params)
+
+    def spec(self) -> IndexSpec:
+        return IndexSpec(
+            "simhash",
+            {
+                "n_bits": self.n_bits,
+                "shortlist": self.shortlist,
+                "page_size": self.page_size,
+            },
+        )
+
+    def state(self) -> dict[str, np.ndarray]:
+        """Data + hyperplanes; codes are re-derived deterministically."""
+        return {"data": self._data, "hyperplanes": self.simhash.hyperplanes}
+
+    @classmethod
+    def from_state(cls, spec: IndexSpec, state: dict[str, np.ndarray]) -> "SimHashMIPS":
+        return cls(
+            np.asarray(state["data"], dtype=np.float64),
+            hyperplanes=np.asarray(state["hyperplanes"], dtype=np.float64),
+            **spec.params,
+        )
 
     def index_size_bytes(self) -> int:
         """Packed codes + hyperplanes — the lightest index in the repo."""
@@ -176,6 +235,8 @@ class SimHashMIPS:
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
         queries = validate_queries(queries, self.dim)
+        if queries.shape[0] == 0:
+            return BatchResult.empty()
         k = min(k, self.n)
         n_take = min(self.n, max(self.shortlist * k, self.shortlist))
         query_codes = self._encode_queries(queries)

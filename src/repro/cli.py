@@ -8,14 +8,23 @@ Commands:
 * ``tune`` — ProMIPS over a c- and p-grid (Figs. 10–11).
 * ``throughput`` — queries/sec of the looped single-query path vs the
   vectorized ``search_many`` batch path, per method.
+* ``build`` — build any method from a declarative spec and persist the
+  index to a ``.npz`` file.
+* ``query`` — reload a persisted index in a fresh process and answer the
+  evaluation workload (or a query file) against it.
 * ``datasets`` — print Table III for the sim and paper profiles.
+
+Method arguments accept registry names ("ProMIPS", "H2-ALSH", ...) or
+inline specs like ``"promips(c=0.8, p=0.7)"`` (see :mod:`repro.spec`).
 
 Examples::
 
     python -m repro compare --dataset netflix --n 8000 --dim 64 --k 10
-    python -m repro sweep --dataset sift --method ProMIPS --ks 10,40,100
+    python -m repro sweep --dataset sift --method "promips(c=0.8)" --ks 10,40
     python -m repro tune --dataset yahoo --cs 0.7,0.9 --ps 0.3,0.9
     python -m repro throughput --dataset netflix --n 10000 --queries 256 --k 10
+    python -m repro build --spec "promips(c=0.9)" --dataset netflix --out idx.npz
+    python -m repro query --index idx.npz --k 10
     python -m repro datasets
 """
 
@@ -23,9 +32,12 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
+from pathlib import Path
 
 import numpy as np
 
+from repro.core.persist import inspect_index, load_index, save_index
 from repro.data.datasets import DATASETS, load_dataset, table3_rows
 from repro.eval.ground_truth import GroundTruth
 from repro.eval.harness import (
@@ -34,7 +46,9 @@ from repro.eval.harness import (
     measure_throughput,
     run_method,
 )
+from repro.eval.metrics import overall_ratio, recall
 from repro.eval.reporting import format_series, format_table
+from repro.spec import build_index
 
 __all__ = ["main"]
 
@@ -79,7 +93,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     ks = [int(x) for x in args.ks.split(",")]
     registry = default_registry()
     ground_truth = GroundTruth(dataset.data, dataset.queries, k_max=max(ks))
-    index, _ = build_method(registry, args.method, dataset, seed=1)
+    try:
+        index, _ = build_method(registry, args.method, dataset, seed=1)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}")
+        return 2
     reports = [run_method(index, dataset, ground_truth, k=k, method=args.method)
                for k in ks]
     print(format_series(
@@ -165,6 +183,90 @@ def _cmd_throughput(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_build(args: argparse.Namespace) -> int:
+    dataset = _load(args)
+    start = time.perf_counter()
+    try:
+        index = build_index(args.spec, dataset.data, rng=args.build_seed)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}")
+        return 2
+    elapsed = time.perf_counter() - start
+    # Record the workload so `query` can regenerate it in a fresh process.
+    extras = {
+        "dataset": {
+            "name": args.dataset,
+            "n": args.n,
+            "dim": args.dim,
+            "n_queries": args.queries,
+            "seed": args.seed,
+        }
+    }
+    path = save_index(index, args.out, extra_meta=extras)
+    spec = index.spec()
+    print(f"built {spec} on {dataset.name} (n={dataset.n}, d={dataset.dim}) "
+          f"in {elapsed:.2f}s")
+    print(f"index size: {index.index_size_bytes() / 2**20:.2f} MiB "
+          f"(file: {path.stat().st_size / 2**20:.2f} MiB)")
+    print(f"saved to {path}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    path = Path(args.index)
+    if not path.exists():
+        print(f"error: no such index file {path}")
+        return 2
+    try:
+        meta = inspect_index(path)
+        index = load_index(path)
+    except (ValueError, KeyError) as exc:
+        print(f"error: {exc}")
+        return 2
+    print(f"loaded {meta['method']} index from {path} (spec: {index.spec()})")
+
+    if args.query_file:
+        queries = np.atleast_2d(np.load(args.query_file))
+        dataset = None
+    else:
+        stored = meta.get("extras", {}).get("dataset")
+        if not stored:
+            print("error: index file records no dataset; pass --query-file")
+            return 2
+        dataset = load_dataset(
+            stored["name"], n=stored["n"], dim=stored["dim"],
+            n_queries=args.queries or stored["n_queries"], seed=stored["seed"],
+        )
+        queries = dataset.queries
+
+    try:
+        batch = index.search_many(queries, k=args.k)
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
+    if dataset is not None:
+        gt = GroundTruth(dataset.data, queries, k_max=args.k)
+        ratios, recalls = [], []
+        for qi, result in enumerate(batch):
+            exact_ids, exact_ips = gt.topk(qi, args.k)
+            ratios.append(overall_ratio(result.scores, exact_ips))
+            recalls.append(recall(result.ids, exact_ids))
+        pages = float(np.mean([s.pages for s in batch.stats]))
+        print(format_table(
+            ["queries", "k", "ratio", "recall", "pages"],
+            [[len(batch), args.k, float(np.mean(ratios)),
+              float(np.mean(recalls)), pages]],
+            title=f"reloaded-index workload on {dataset.name}",
+        ))
+    for qi in range(min(len(batch), args.show)):
+        result = batch[qi]
+        pairs = ", ".join(
+            f"{pid}:{score:.4f}" for pid, score in zip(result.ids, result.scores)
+        )
+        print(f"query {qi}: top-{len(result)} [{pairs}]")
+    return 0
+
+
 def _cmd_datasets(args: argparse.Namespace) -> int:
     for profile in ("paper", "sim"):
         kwargs: dict = {"n_queries": 2}
@@ -198,8 +300,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     sweep = sub.add_parser("sweep", help="one method over a k grid")
     _add_dataset_args(sweep)
-    sweep.add_argument("--method", default="ProMIPS",
-                       choices=["ProMIPS", "H2-ALSH", "Range-LSH", "PQ-Based"])
+    sweep.add_argument(
+        "--method", default="ProMIPS",
+        help='registry name (ProMIPS, H2-ALSH, Range-LSH, PQ-Based) or an '
+             'inline spec like "promips(c=0.8)"',
+    )
     sweep.add_argument("--ks", default="10,40,70,100")
     sweep.set_defaults(func=_cmd_sweep)
 
@@ -221,6 +326,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     throughput.add_argument("--repeats", type=int, default=3)
     throughput.set_defaults(func=_cmd_throughput)
+
+    build = sub.add_parser(
+        "build", help="build any method from a spec and persist the index"
+    )
+    _add_dataset_args(build)
+    build.add_argument(
+        "--spec", required=True,
+        help='index spec, e.g. "promips(c=0.9, p=0.5)" or "h2alsh(c=0.8)"',
+    )
+    build.add_argument("--out", required=True, help="target .npz file")
+    build.add_argument(
+        "--build-seed", type=int, default=1, dest="build_seed",
+        help="rng seed for the build pre-process",
+    )
+    build.set_defaults(func=_cmd_build)
+
+    query = sub.add_parser(
+        "query", help="reload a persisted index and answer queries against it"
+    )
+    query.add_argument("--index", required=True, help="index .npz written by `build`")
+    query.add_argument("--k", type=int, default=10)
+    query.add_argument(
+        "--queries", type=int, default=None,
+        help="override the stored workload's query count",
+    )
+    query.add_argument(
+        "--query-file", default=None,
+        help=".npy array of queries (skips the ratio/recall metrics)",
+    )
+    query.add_argument(
+        "--show", type=int, default=3,
+        help="print the top-k of the first N queries",
+    )
+    query.set_defaults(func=_cmd_query)
 
     datasets = sub.add_parser("datasets", help="print Table III")
     datasets.add_argument("--n", type=int, default=None)

@@ -24,8 +24,9 @@ from repro.core.conditions import (
 )
 from repro.core.dynamic import DynamicProMIPS
 from repro.core.optimal_dim import optimized_projection_dim, quickprobe_cost
-from repro.core.persist import load_index, save_index
+from repro.core.persist import inspect_index, load_index, save_index
 from repro.core.projection import StableProjection
+from repro.core.rng import resolve_rng
 from repro.core.promips import ProMIPS, ProMIPSParams
 from repro.core.quickprobe import ProbeOutcome, QuickProbe
 
@@ -43,6 +44,8 @@ __all__ = [
     "DynamicProMIPS",
     "load_index",
     "save_index",
+    "inspect_index",
+    "resolve_rng",
     "BinaryCodeGroups",
     "group_lower_bounds",
     "pack_code",

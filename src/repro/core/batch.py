@@ -39,6 +39,8 @@ class BatchStats:
 
     @classmethod
     def from_batch(cls, batch: BatchResult) -> "BatchStats":
+        if len(batch) == 0:
+            return cls(n_queries=0, mean_pages=0.0, p95_pages=0.0, total_candidates=0)
         pages = np.array([s.pages for s in batch.stats], dtype=np.float64)
         return cls(
             n_queries=len(batch),
@@ -72,9 +74,13 @@ def search_many(
             the cores BLAS is configured for).
         **search_kwargs: forwarded to the index (e.g. ProMIPS ``c=0.8``).
     """
-    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
-    if queries.shape[0] == 0:
-        raise ValueError("queries must be non-empty")
+    queries = np.asarray(queries, dtype=np.float64)
+    # An empty batch is answered uniformly (see repro.api.validate_queries);
+    # a malformed non-empty one (e.g. (5, 0)) still reaches the index's own
+    # validation and raises there.
+    if queries.size == 0 and (queries.ndim == 1 or queries.shape[0] == 0):
+        return BatchResult.empty()
+    queries = np.atleast_2d(queries)
     if has_native_batch(index):
         return index.search_many(queries, k=k, **search_kwargs)
     if n_threads is not None and n_threads > 1 and queries.shape[0] > 1:

@@ -27,12 +27,17 @@ from __future__ import annotations
 
 import numpy as np
 
+from dataclasses import asdict
+
 from repro.api import BatchSearchMixin, SearchResult, SearchStats, validate_query
 from repro.core.promips import ProMIPS, ProMIPSParams
+from repro.core.rng import resolve_rng
+from repro.spec import IndexSpec, register_method
 
 __all__ = ["DynamicProMIPS"]
 
 
+@register_method("dynamic", aliases=("Dynamic", "DynamicProMIPS"))
 class DynamicProMIPS(BatchSearchMixin):
     """ProMIPS with insert/delete support via a delta buffer + tombstones.
 
@@ -55,9 +60,7 @@ class DynamicProMIPS(BatchSearchMixin):
             raise ValueError(
                 f"rebuild_threshold must be in (0, 1], got {rebuild_threshold}"
             )
-        if not isinstance(rng, np.random.Generator):
-            rng = np.random.default_rng(rng)
-        self._rng = rng
+        self._rng = resolve_rng(rng)
         self.params = params or ProMIPSParams()
         self.rebuild_threshold = float(rebuild_threshold)
 
@@ -72,6 +75,100 @@ class DynamicProMIPS(BatchSearchMixin):
         self._tombstones: set[int] = set()
         self._next_id = len(data)
         self.rebuilds = 0
+
+    # ------------------------------------------------------- registry contract
+
+    @classmethod
+    def from_spec(
+        cls,
+        data: np.ndarray,
+        spec: IndexSpec,
+        rng: np.random.Generator | int | None = None,
+    ) -> "DynamicProMIPS":
+        """Build from a spec: ProMIPS parameters plus ``rebuild_threshold``,
+        e.g. ``dynamic(c=0.9, rebuild_threshold=0.2)``."""
+        params = dict(spec.params)
+        rebuild_threshold = params.pop("rebuild_threshold", 0.2)
+        return cls(
+            data,
+            ProMIPSParams(**params),
+            rng=resolve_rng(rng),
+            rebuild_threshold=rebuild_threshold,
+        )
+
+    def spec(self) -> IndexSpec:
+        return IndexSpec(
+            "dynamic",
+            {"rebuild_threshold": self.rebuild_threshold, **asdict(self.params)},
+        )
+
+    def state(self) -> dict[str, np.ndarray]:
+        """The wrapped index's state plus the mutable bookkeeping: every
+        stored vector (live, delta, and tombstoned), the tombstone set, the
+        delta ids, and the indexed→external id map.
+
+        The inner index's data array is NOT stored — its rows are exactly
+        ``vectors[indexed_external]``, so :meth:`from_state` reconstructs it
+        instead of doubling the file's dominant payload."""
+        inner = {
+            f"promips_{k}": v
+            for k, v in self._index.state().items()
+            if k != "data"
+        }
+        return {
+            **inner,
+            "inner_m": np.array([self._index.params.m], dtype=np.int64),
+            "vectors": np.stack(self._vectors),
+            "tombstones": np.array(sorted(self._tombstones), dtype=np.int64),
+            "delta_ids": np.array(sorted(self._delta), dtype=np.int64),
+            "indexed_external": np.array(
+                [self._external_of_indexed[i] for i in range(self._index.n)],
+                dtype=np.int64,
+            ),
+            "rebuilds": np.array([self.rebuilds], dtype=np.int64),
+        }
+
+    @classmethod
+    def from_state(
+        cls, spec: IndexSpec, state: dict[str, np.ndarray]
+    ) -> "DynamicProMIPS":
+        """Reconstruct with bit-identical search behaviour.
+
+        The rng for *future* rebuilds is freshly OS-seeded (the generator's
+        position is not serialized); everything a search touches is restored
+        exactly.
+        """
+        params = {k: v for k, v in spec.params.items() if k != "rebuild_threshold"}
+        inner_spec = IndexSpec(
+            "promips", {**params, "m": int(state["inner_m"][0])}
+        )
+        vectors = np.asarray(state["vectors"], dtype=np.float64)
+        indexed_external = np.asarray(state["indexed_external"], dtype=np.int64)
+        inner_state = {
+            k[len("promips_"):]: v
+            for k, v in state.items()
+            if k.startswith("promips_")
+        }
+        inner_state["data"] = vectors[indexed_external]
+        inner = ProMIPS.from_state(inner_spec, inner_state)
+
+        self = cls.__new__(cls)
+        self._rng = resolve_rng(None)
+        self.params = ProMIPSParams(**params)
+        self.rebuild_threshold = float(spec.params.get("rebuild_threshold", 0.2))
+        self._index = inner
+        self.dim = inner.dim
+        self._vectors = [row for row in vectors]
+        ext_list = indexed_external.tolist()
+        self._indexed_of_external = {ext: idx for idx, ext in enumerate(ext_list)}
+        self._external_of_indexed = {idx: ext for idx, ext in enumerate(ext_list)}
+        self._delta = {
+            int(i): vectors[i] for i in np.asarray(state["delta_ids"]).tolist()
+        }
+        self._tombstones = set(np.asarray(state["tombstones"]).tolist())
+        self._next_id = vectors.shape[0]
+        self.rebuilds = int(state["rebuilds"][0])
+        return self
 
     # ------------------------------------------------------------- mutation
 

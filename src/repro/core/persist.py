@@ -1,95 +1,148 @@
-"""Save/load a built ProMIPS index.
+"""Save/load a built index of **any** registered method.
 
-The pre-process (projection, grouping, two k-means stages, disk layout) is
-the expensive part of the lifecycle; persisting its outputs lets a service
-restart without re-building.  The format is a single ``.npz`` file holding
-plain arrays plus a JSON-encoded parameter blob — no pickling, so files are
-portable across Python versions and safe to load from untrusted storage.
+The pre-process (projections, hash tables, k-means, codebooks, disk layout)
+is the expensive part of the lifecycle; persisting its outputs lets a
+service restart without re-building.  The format is a single ``.npz`` file
+holding plain arrays plus a JSON-encoded envelope — no pickling, so files
+are portable across Python versions and safe to load from untrusted
+storage.
 
-On load the cheap derivations (projected points, binary-code groups) are
-recomputed from the stored projection matrix, while both k-means stages are
-restored from the stored geometry via :meth:`RingIDistance.from_state`.
+The envelope records the registered method name and its round-trippable
+:class:`repro.spec.IndexSpec`; :func:`load_index` dispatches through the
+method registry to the class's ``from_state``, so every method (ProMIPS,
+Dynamic, H2-ALSH, Range-LSH, PQ-Based, Exact, SimHash) reloads with
+bit-identical search behaviour.  Format version 1 (the ProMIPS-only layout
+of earlier releases) still loads.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import asdict
 from pathlib import Path
 
 import numpy as np
 
-from repro.core.binary_codes import BinaryCodeGroups
-from repro.core.projection import StableProjection
-from repro.core.promips import ProMIPS, ProMIPSParams
-from repro.core.quickprobe import QuickProbe
-from repro.index.ring_idistance import RingIDistance
-from repro.storage.pagefile import VectorStore
+from repro.spec import IndexSpec, get_method
 
-__all__ = ["save_index", "load_index"]
+__all__ = ["save_index", "load_index", "inspect_index"]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+_STATE_PREFIX = "state__"
 
 
-def save_index(index: ProMIPS, path: str | Path) -> Path:
-    """Serialize a built index to ``path`` (a ``.npz`` file).
+def _encode_meta(meta: dict) -> np.ndarray:
+    return np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
 
-    Returns the path written (with the ``.npz`` suffix ensured).
+
+def _decode_meta(blob: np.ndarray) -> dict:
+    return json.loads(bytes(np.asarray(blob).tobytes()).decode())
+
+
+def save_index(index, path: str | Path, extra_meta: dict | None = None) -> Path:
+    """Serialize any registered built index to ``path`` (a ``.npz`` file).
+
+    Args:
+        index: a built index implementing the registry contract
+            (``spec()`` / ``state()``, see :mod:`repro.spec`).
+        path: target file; the ``.npz`` suffix is ensured.
+        extra_meta: optional JSON-serializable annotations stored in the
+            envelope (e.g. the CLI records the dataset a ``build`` used so
+            ``query`` can regenerate the workload); read back with
+            :func:`inspect_index`.
+
+    Returns:
+        The path written.
     """
+    method = getattr(type(index), "method_name", None)
+    if method is None or not (hasattr(index, "spec") and hasattr(index, "state")):
+        raise TypeError(
+            f"{type(index).__name__} is not a registered method "
+            "(missing @register_method / spec() / state())"
+        )
     path = Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(".npz")
     meta = {
         "format_version": _FORMAT_VERSION,
-        "params": asdict(index.params),
+        "method": method,
+        "spec": index.spec().to_dict(),
+        "extras": extra_meta or {},
     }
-    ring_state = {f"ring_{k}": v for k, v in index.ring.state().items()}
+    state = index.state()
+    bad = [k for k in state if not isinstance(state[k], np.ndarray)]
+    if bad:
+        raise TypeError(f"state() of {method!r} returned non-array entries: {bad}")
     np.savez_compressed(
         path,
-        meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
-        data=index._data,
-        projection_matrix=index.projection.matrix,
-        **ring_state,
+        __meta__=_encode_meta(meta),
+        **{f"{_STATE_PREFIX}{k}": v for k, v in state.items()},
     )
     return path
 
 
-def load_index(path: str | Path) -> ProMIPS:
-    """Reconstruct a :class:`ProMIPS` index saved by :func:`save_index`."""
+def load_index(path: str | Path):
+    """Reconstruct an index saved by :func:`save_index`.
+
+    The envelope names the method; the registered class's ``from_state``
+    rebuilds the index, so the caller does not need to know what was saved.
+    """
     path = Path(path)
     with np.load(path) as blob:
-        meta = json.loads(bytes(blob["meta"].tobytes()).decode())
-        if meta.get("format_version") != _FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported index format {meta.get('format_version')!r} "
-                f"(expected {_FORMAT_VERSION})"
-            )
-        params = ProMIPSParams(**meta["params"])
-        data = np.asarray(blob["data"], dtype=np.float64)
-        matrix = np.asarray(blob["projection_matrix"], dtype=np.float64)
-        ring_state = {
-            key[len("ring_"):]: blob[key] for key in blob.files
-            if key.startswith("ring_")
-        }
+        if "__meta__" in blob.files:
+            meta = _decode_meta(blob["__meta__"])
+            if meta.get("format_version") != _FORMAT_VERSION:
+                raise ValueError(
+                    f"unsupported index format {meta.get('format_version')!r} "
+                    f"(expected {_FORMAT_VERSION})"
+                )
+            spec = IndexSpec.from_dict(meta["spec"])
+            state = {
+                key[len(_STATE_PREFIX):]: np.asarray(blob[key])
+                for key in blob.files
+                if key.startswith(_STATE_PREFIX)
+            }
+            cls = get_method(meta["method"])
+            return cls.from_state(spec, state)
+        if "meta" in blob.files:
+            return _load_v1(blob)
+        raise ValueError(f"{path} is not a saved index (no envelope found)")
 
-    projection = StableProjection.__new__(StableProjection)
-    projection.dim = data.shape[1]
-    projection.proj_dim = matrix.shape[0]
-    projection._matrix = matrix
 
-    projected = projection.project(data)
-    l1_norms = np.abs(data).sum(axis=1)
-    groups = BinaryCodeGroups(projected, l1_norms)
-    quickprobe = QuickProbe(groups)
-    ring = RingIDistance.from_state(projected, ring_state, order=params.tree_order)
-    orig_store = VectorStore(
-        data, params.page_size, layout_order=ring.layout_order, label="promips-orig"
-    )
-    proj_store = VectorStore(
-        projected, params.page_size, layout_order=ring.layout_order,
-        label="promips-proj",
-    )
-    return ProMIPS(
-        data, params, projection, projected, groups, quickprobe, ring,
-        orig_store, proj_store, l1_norms=l1_norms,
-    )
+def inspect_index(path: str | Path) -> dict:
+    """The envelope of a saved index without reconstructing it.
+
+    Returns a dict with ``format_version``, ``method``, ``spec`` (as a
+    dict), and ``extras``.
+    """
+    path = Path(path)
+    with np.load(path) as blob:
+        if "__meta__" in blob.files:
+            return _decode_meta(blob["__meta__"])
+        if "meta" in blob.files:
+            meta = _decode_meta(blob["meta"])
+            return {
+                "format_version": meta.get("format_version"),
+                "method": "promips",
+                "spec": {"method": "promips", "params": meta.get("params", {})},
+                "extras": {},
+            }
+    raise ValueError(f"{path} is not a saved index (no envelope found)")
+
+
+def _load_v1(blob) -> "object":
+    """Load the ProMIPS-only format version 1 of earlier releases."""
+    from repro.core.promips import ProMIPS
+
+    meta = _decode_meta(blob["meta"])
+    if meta.get("format_version") != 1:
+        raise ValueError(
+            f"unsupported index format {meta.get('format_version')!r} "
+            f"(expected {_FORMAT_VERSION} or the legacy 1)"
+        )
+    spec = IndexSpec("promips", meta["params"])
+    state = {
+        "data": np.asarray(blob["data"], dtype=np.float64),
+        "projection_matrix": np.asarray(blob["projection_matrix"], dtype=np.float64),
+        **{key: np.asarray(blob[key]) for key in blob.files if key.startswith("ring_")},
+    }
+    return ProMIPS.from_state(spec, state)

@@ -23,7 +23,7 @@ bit-identical to looping ``search``.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, replace
 
 import numpy as np
 
@@ -45,7 +45,9 @@ from repro.core.engine import CandidateVerifier, TopK, project_batch
 from repro.core.optimal_dim import optimized_projection_dim
 from repro.core.projection import StableProjection
 from repro.core.quickprobe import ProbeOutcome, QuickProbe
+from repro.core.rng import resolve_rng
 from repro.index.ring_idistance import RingIDistance
+from repro.spec import IndexSpec, register_method
 from repro.storage.pagefile import DEFAULT_PAGE_SIZE, AccessCounter, VectorStore
 
 __all__ = ["ProMIPSParams", "ProMIPS"]
@@ -94,10 +96,12 @@ class ProMIPSParams:
 _TopK = TopK
 
 
+@register_method("promips", aliases=("ProMIPS",))
 class ProMIPS:
     """Probability-guaranteed c-AMIP index with a lightweight iDistance.
 
-    Use :meth:`build`; the constructor wires pre-computed pieces together.
+    Use :meth:`build` (or ``repro.build_index`` with a ``"promips(...)"``
+    spec); the constructor wires pre-computed pieces together.
     """
 
     def __init__(
@@ -156,8 +160,7 @@ class ProMIPS:
             rng: generator or seed for projections and k-means.
         """
         params = params or ProMIPSParams()
-        if not isinstance(rng, np.random.Generator):
-            rng = np.random.default_rng(rng)
+        rng = resolve_rng(rng)
         data = np.asarray(data, dtype=np.float64)
         if data.ndim != 2 or data.shape[0] == 0:
             raise ValueError(f"data must be a non-empty (n, d) array, got {data.shape}")
@@ -187,6 +190,71 @@ class ProMIPS:
         )
         proj_store = VectorStore(
             projected, params.page_size, layout_order=ring.layout_order, label="promips-proj"
+        )
+        return cls(
+            data, params, projection, projected, groups, quickprobe, ring,
+            orig_store, proj_store, l1_norms=l1_norms,
+        )
+
+    # ------------------------------------------------------- registry contract
+
+    @classmethod
+    def from_spec(
+        cls,
+        data: np.ndarray,
+        spec: IndexSpec,
+        rng: np.random.Generator | int | None = None,
+    ) -> "ProMIPS":
+        """Build from a declarative spec, e.g. ``promips(c=0.9, p=0.5)``.
+
+        Spec parameters are exactly the :class:`ProMIPSParams` fields.
+        """
+        return cls.build(data, ProMIPSParams(**spec.params), rng=resolve_rng(rng))
+
+    def spec(self) -> IndexSpec:
+        """The round-trippable build configuration (``m`` fully resolved)."""
+        return IndexSpec("promips", asdict(self.params))
+
+    def state(self) -> dict[str, np.ndarray]:
+        """Arrays sufficient to reconstruct the index bit-identically.
+
+        The cheap derivations (projected points, binary-code groups) are
+        recomputed on :meth:`from_state` from the stored projection matrix,
+        while both k-means stages are restored from the stored ring geometry.
+        """
+        ring_state = {f"ring_{k}": v for k, v in self.ring.state().items()}
+        return {
+            "data": self._data,
+            "projection_matrix": self.projection.matrix,
+            **ring_state,
+        }
+
+    @classmethod
+    def from_state(cls, spec: IndexSpec, state: dict[str, np.ndarray]) -> "ProMIPS":
+        """Reconstruct a built index from :meth:`spec` + :meth:`state` output."""
+        params = ProMIPSParams(**spec.params)
+        data = np.asarray(state["data"], dtype=np.float64)
+        matrix = np.asarray(state["projection_matrix"], dtype=np.float64)
+        ring_state = {
+            key[len("ring_"):]: state[key] for key in state if key.startswith("ring_")
+        }
+
+        projection = StableProjection.__new__(StableProjection)
+        projection.dim = data.shape[1]
+        projection.proj_dim = matrix.shape[0]
+        projection._matrix = matrix
+
+        projected = projection.project(data)
+        l1_norms = np.abs(data).sum(axis=1)
+        groups = BinaryCodeGroups(projected, l1_norms)
+        quickprobe = QuickProbe(groups)
+        ring = RingIDistance.from_state(projected, ring_state, order=params.tree_order)
+        orig_store = VectorStore(
+            data, params.page_size, layout_order=ring.layout_order, label="promips-orig"
+        )
+        proj_store = VectorStore(
+            projected, params.page_size, layout_order=ring.layout_order,
+            label="promips-proj",
         )
         return cls(
             data, params, projection, projected, groups, quickprobe, ring,
@@ -362,6 +430,8 @@ class ProMIPS:
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
         queries = validate_queries(queries, self.dim)
+        if queries.shape[0] == 0:
+            return BatchResult.empty()
         k = min(k, self.n)
 
         q_projs = self._project_queries(queries)

@@ -1,0 +1,34 @@
+"""Shared RNG coercion for every index constructor and ``from_spec``.
+
+Every randomized method in the repository accepts the same spectrum of
+``rng`` arguments — an existing :class:`numpy.random.Generator`, an integer
+seed, or ``None`` for OS entropy — and resolves it through
+:func:`resolve_rng`.  Centralising the coercion keeps the behaviour uniform
+(a ``Generator`` passes through untouched, so several builds can share one
+stream) and gives specs a single documented seeding story.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["resolve_rng"]
+
+
+def resolve_rng(rng: np.random.Generator | int | None = None) -> np.random.Generator:
+    """Coerce ``rng`` to a :class:`numpy.random.Generator`.
+
+    Args:
+        rng: an existing generator (returned as-is, sharing its stream), an
+            integer seed, or ``None`` for a fresh OS-seeded generator.
+
+    Raises:
+        TypeError: for anything else (a float seed is almost always a bug).
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if rng is None or isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(rng)
+    raise TypeError(
+        f"rng must be a numpy Generator, an int seed, or None, got {type(rng).__name__}"
+    )

@@ -7,30 +7,28 @@ adds a simulated I/O cost per page on top of the measured CPU time, which is
 how the paper's total-time plots are dominated by page accesses.
 
 Benchmarks call :func:`run_method` / :func:`build_method` directly; the
-:class:`MethodRegistry` maps the paper's method names to constructors so
-every bench names methods exactly as the figures do ("ProMIPS", "H2-ALSH",
-"Range-LSH", "PQ-Based").
+:class:`MethodRegistry` maps the paper's method names to declarative
+:class:`repro.spec.IndexSpec` entries so every bench names methods exactly
+as the figures do ("ProMIPS", "H2-ALSH", "Range-LSH", "PQ-Based") while the
+actual construction goes through ``repro.build_index``.
 """
 
 from __future__ import annotations
 
+import inspect
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Callable
 
 import numpy as np
 
 from repro.api import MIPSIndex
-from repro.baselines.exact import ExactMIPS
-from repro.baselines.h2alsh import H2ALSH
-from repro.baselines.pq import PQBasedMIPS
-from repro.baselines.rangelsh import RangeLSH
-from repro.baselines.simhash import SimHashMIPS
 from repro.core.batch import has_native_batch, search_many
-from repro.core.promips import ProMIPS, ProMIPSParams
+from repro.core.promips import ProMIPSParams
 from repro.data.datasets import Dataset
 from repro.eval.ground_truth import GroundTruth
 from repro.eval.metrics import overall_ratio, recall
+from repro.spec import IndexSpec, build_index
 
 __all__ = [
     "PAGE_LATENCY_SECONDS",
@@ -80,21 +78,72 @@ class QueryReport:
 
 
 class MethodRegistry:
-    """Name → constructor map; constructors take ``(dataset, seed)``."""
+    """Name → spec map, with legacy builder-callable support.
+
+    Entries are declarative: an :class:`repro.spec.IndexSpec` (or parseable
+    spec string), or a *spec factory* ``(dataset) -> IndexSpec`` for
+    parameters that depend on the dataset (page size, training-set scaling).
+    Construction always goes through ``repro.build_index``, so every
+    registered name shares the registry contract (persistence included).
+
+    Legacy builder callables ``(dataset, seed) -> index`` still register —
+    they are detected by arity — but cannot report a spec.
+    """
 
     def __init__(self) -> None:
-        self._builders: dict[str, Callable[[Dataset, int], MIPSIndex]] = {}
+        # name -> ("spec", IndexSpec) | ("factory", (ds) -> IndexSpec)
+        #       | ("builder", (ds, seed) -> index); one ordered dict keeps
+        # names() in registration order across entry kinds.
+        self._entries: dict[str, tuple[str, object]] = {}
 
-    def register(self, name: str, builder: Callable[[Dataset, int], MIPSIndex]) -> None:
-        self._builders[name] = builder
+    def register(
+        self,
+        name: str,
+        spec: IndexSpec | str | Callable[[Dataset], IndexSpec] | Callable[[Dataset, int], MIPSIndex],
+    ) -> None:
+        """Register a spec, spec string, spec factory, or legacy builder."""
+        if callable(spec) and not isinstance(spec, IndexSpec):
+            if len(inspect.signature(spec).parameters) >= 2:
+                self._entries[name] = ("builder", spec)
+            else:
+                self._entries[name] = ("factory", spec)
+        else:
+            self._entries[name] = ("spec", IndexSpec.coerce(spec))
 
     def names(self) -> list[str]:
-        return list(self._builders)
+        return list(self._entries)
+
+    def spec_for(self, name: str, dataset: Dataset) -> IndexSpec | None:
+        """The concrete spec this registry would build ``name`` from.
+
+        ``None`` for legacy builder entries (they have no declarative form).
+        """
+        if name not in self._entries:
+            raise KeyError(f"unknown method {name!r}; known: {self.names()}")
+        kind, entry = self._entries[name]
+        if kind == "spec":
+            return entry
+        if kind == "factory":
+            return entry(dataset)
+        return None
 
     def build(self, name: str, dataset: Dataset, seed: int = 1) -> MIPSIndex:
-        if name not in self._builders:
-            raise KeyError(f"unknown method {name!r}; known: {self.names()}")
-        return self._builders[name](dataset, seed)
+        """Build a registered name — or an inline spec like ``"promips(c=0.8)"``
+        (bare canonical method names such as ``"promips"`` also resolve)."""
+        if name not in self._entries:
+            try:
+                spec = IndexSpec.parse(name)
+            except ValueError:
+                raise KeyError(
+                    f"unknown method {name!r}; known: {self.names()}"
+                ) from None
+            # Unknown spec names raise KeyError from the method registry.
+            return build_index(spec, dataset.data, rng=seed)
+        kind, entry = self._entries[name]
+        if kind == "builder":
+            return entry(dataset, seed)
+        spec = entry(dataset) if kind == "factory" else entry
+        return build_index(spec, dataset.data, rng=seed)
 
 
 def default_registry(
@@ -107,7 +156,8 @@ def default_registry(
 
     PQ's training-heavy knobs scale with the dataset so that simulated builds
     stay minutes-free while preserving the paper's 16-subspace / 16-probe
-    configuration.
+    configuration; that is why its entry is a spec *factory* rather than a
+    fixed spec.
 
     Args:
         include_extras: also register the off-paper methods ("Exact" and
@@ -116,17 +166,12 @@ def default_registry(
     """
     registry = MethodRegistry()
 
-    def build_promips(ds: Dataset, seed: int) -> MIPSIndex:
-        params = promips_params or ProMIPSParams(c=c, p=p, page_size=ds.page_size)
-        return ProMIPS.build(ds.data, params, rng=seed)
+    def promips_spec(ds: Dataset) -> IndexSpec:
+        if promips_params is not None:
+            return IndexSpec("promips", asdict(promips_params))
+        return IndexSpec("promips", {"c": c, "p": p, "page_size": ds.page_size})
 
-    def build_h2alsh(ds: Dataset, seed: int) -> MIPSIndex:
-        return H2ALSH(ds.data, rng=seed, c=c, page_size=ds.page_size)
-
-    def build_rangelsh(ds: Dataset, seed: int) -> MIPSIndex:
-        return RangeLSH(ds.data, rng=seed, c=c, page_size=ds.page_size)
-
-    def build_pq(ds: Dataset, seed: int) -> MIPSIndex:
+    def pq_spec(ds: Dataset) -> IndexSpec:
         n = ds.data.shape[0]
         n_coarse = int(np.clip(n // 256, 8, 128))
         # Let typical cells train their own rotation + codebooks (the LOPQ
@@ -136,26 +181,31 @@ def default_registry(
         # centroids on a 260-point cell would be one centroid per point).
         min_local_train = max(64, (n // n_coarse) // 2)
         n_centroids = int(np.clip((n // n_coarse) // 8, 16, 256))
-        return PQBasedMIPS(
-            ds.data,
-            rng=seed,
-            n_coarse=n_coarse,
-            n_centroids=n_centroids,
-            min_local_train=min_local_train,
-            page_size=ds.page_size,
+        return IndexSpec(
+            "pq",
+            {
+                "n_coarse": n_coarse,
+                "n_centroids": n_centroids,
+                "min_local_train": min_local_train,
+                "page_size": ds.page_size,
+            },
         )
 
-    registry.register("ProMIPS", build_promips)
-    registry.register("H2-ALSH", build_h2alsh)
-    registry.register("Range-LSH", build_rangelsh)
-    registry.register("PQ-Based", build_pq)
+    registry.register("ProMIPS", promips_spec)
+    registry.register(
+        "H2-ALSH", lambda ds: IndexSpec("h2alsh", {"c": c, "page_size": ds.page_size})
+    )
+    registry.register(
+        "Range-LSH",
+        lambda ds: IndexSpec("rangelsh", {"c": c, "page_size": ds.page_size}),
+    )
+    registry.register("PQ-Based", pq_spec)
     if include_extras:
         registry.register(
-            "Exact", lambda ds, seed: ExactMIPS(ds.data, page_size=ds.page_size)
+            "Exact", lambda ds: IndexSpec("exact", {"page_size": ds.page_size})
         )
         registry.register(
-            "SimHash",
-            lambda ds, seed: SimHashMIPS(ds.data, rng=seed, page_size=ds.page_size),
+            "SimHash", lambda ds: IndexSpec("simhash", {"page_size": ds.page_size})
         )
     return registry
 

@@ -5,7 +5,14 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.api import MIPSIndex, SearchResult, SearchStats, validate_query
+from repro.api import (
+    BatchResult,
+    MIPSIndex,
+    SearchResult,
+    SearchStats,
+    validate_queries,
+    validate_query,
+)
 from repro.baselines.exact import ExactMIPS
 from repro.core.promips import ProMIPS, ProMIPSParams
 
@@ -47,6 +54,40 @@ class TestValidateQuery:
 
     def test_flattens_row_vectors(self):
         assert validate_query(np.ones((1, 3)), 3).shape == (3,)
+
+
+class TestEmptyBatch:
+    def test_from_results_empty_list(self):
+        batch = BatchResult.from_results([])
+        assert batch.ids.shape == (0, 0)
+        assert batch.scores.shape == (0, 0)
+        assert batch.stats == []
+        assert len(batch) == 0
+        assert list(batch) == []
+
+    def test_empty_constructor(self):
+        batch = BatchResult.empty()
+        assert batch.ids.shape == (0, 0)
+        assert batch.ids.dtype == np.int64
+        assert batch.scores.dtype == np.float64
+
+    def test_validate_queries_empty_batch(self):
+        out = validate_queries(np.empty((0, 5)), 5)
+        assert out.shape == (0, 5)
+        assert out.dtype == np.float64
+        # Dimension is taken from the index when the batch carries none.
+        assert validate_queries(np.empty((0, 0)), 7).shape == (0, 7)
+
+    def test_validate_queries_still_rejects_bad_nonempty(self):
+        with pytest.raises(ValueError):
+            validate_queries(np.ones((2, 3)), 5)
+        with pytest.raises(ValueError):
+            validate_queries(np.full((1, 5), np.nan), 5)
+
+    def test_validate_queries_rejects_zero_column_rows(self):
+        # Five malformed (zero-width) queries are an error, not an empty batch.
+        with pytest.raises(ValueError):
+            validate_queries(np.empty((5, 0)), 8)
 
 
 class TestProtocol:

@@ -53,7 +53,10 @@ class TestSearchBatch:
         results, stats = search_batch(exact, queries[:3], k=4)
         assert len(results) == 3
 
-    def test_rejects_empty_batch(self, setup):
+    def test_empty_batch_returns_empty_result(self, setup):
         _, _, index = setup
-        with pytest.raises(ValueError):
-            search_batch(index, np.empty((0, 24)), k=3)
+        results, stats = search_batch(index, np.empty((0, 24)), k=3)
+        assert results == []
+        assert stats.n_queries == 0
+        assert stats.mean_pages == 0.0
+        assert stats.total_candidates == 0

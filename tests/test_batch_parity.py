@@ -129,11 +129,16 @@ class TestNativeParity:
     def test_rejects_bad_batches(self, native_indexes):
         index = native_indexes["exact"]
         with pytest.raises(ValueError):
-            index.search_many(np.empty((0, 24)), k=3)
-        with pytest.raises(ValueError):
             index.search_many(np.ones((2, 24)), k=0)
         with pytest.raises(ValueError):
             index.search_many(np.ones((2, 10)), k=3)
+
+    def test_empty_batch_is_uniformly_empty(self, native_indexes):
+        for name, index in native_indexes.items():
+            batch = index.search_many(np.empty((0, index.dim)), k=3)
+            assert batch.ids.shape == (0, 0), name
+            assert batch.scores.shape == (0, 0), name
+            assert batch.stats == [], name
 
 
 class TestFallbackParity:

@@ -21,9 +21,15 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["compare", "--dataset", "imagenet"])
 
-    def test_rejects_unknown_method(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["sweep", "--method", "FAISS"])
+    def test_rejects_unknown_method(self, capsys):
+        # --method is no longer a closed choice list (inline specs are
+        # allowed), so the unknown name surfaces as a clean runtime error.
+        rc = main([
+            "sweep", "--dataset", "netflix", "--n", "400", "--dim", "12",
+            "--queries", "2", "--method", "FAISS",
+        ])
+        assert rc == 2
+        assert "unknown method" in capsys.readouterr().out
 
 
 class TestCommands:
@@ -75,3 +81,90 @@ class TestCommands:
         args = build_parser().parse_args(["throughput"])
         assert args.methods == "all"
         assert args.k == 10
+
+    def test_sweep_accepts_inline_spec(self, capsys):
+        rc = main([
+            "sweep", "--dataset", "netflix", "--n", "500", "--dim", "12",
+            "--queries", "3", "--method", "promips(c=0.8, m=4, kp=3, n_key=8, ksp=3)",
+            "--ks", "5",
+        ])
+        assert rc == 0
+        assert "recall" in capsys.readouterr().out
+
+
+class TestBuildQuery:
+    """`build` persists an index; `query` reloads it and answers a workload."""
+
+    def _build(self, tmp_path, capsys, spec="promips(c=0.9, m=4, kp=3, n_key=8, ksp=3)"):
+        out = tmp_path / "idx.npz"
+        rc = main([
+            "build", "--dataset", "netflix", "--n", "500", "--dim", "12",
+            "--queries", "4", "--spec", spec, "--out", str(out),
+        ])
+        assert rc == 0
+        assert out.exists()
+        return out, capsys.readouterr().out
+
+    def test_build_then_query(self, tmp_path, capsys):
+        out, build_out = self._build(tmp_path, capsys)
+        assert "saved to" in build_out and "promips" in build_out
+
+        rc = main(["query", "--index", str(out), "--k", "5"])
+        assert rc == 0
+        query_out = capsys.readouterr().out
+        assert "loaded promips index" in query_out
+        assert "ratio" in query_out and "recall" in query_out
+        assert "query 0: top-5" in query_out
+
+    def test_build_then_query_other_method(self, tmp_path, capsys):
+        out, _ = self._build(tmp_path, capsys, spec="simhash(n_bits=24)")
+        rc = main(["query", "--index", str(out), "--k", "5", "--show", "1"])
+        assert rc == 0
+        assert "loaded simhash index" in capsys.readouterr().out
+
+    def test_query_with_query_file(self, tmp_path, capsys):
+        import numpy as np
+
+        out, _ = self._build(tmp_path, capsys, spec="exact()")
+        qfile = tmp_path / "queries.npy"
+        np.save(qfile, np.random.default_rng(0).standard_normal((3, 12)))
+        rc = main([
+            "query", "--index", str(out), "--k", "4",
+            "--query-file", str(qfile), "--show", "3",
+        ])
+        assert rc == 0
+        outtxt = capsys.readouterr().out
+        assert "query 2: top-4" in outtxt
+
+    def test_build_rejects_bad_spec(self, tmp_path, capsys):
+        rc = main([
+            "build", "--dataset", "netflix", "--n", "400", "--dim", "12",
+            "--queries", "2", "--spec", "faiss(gpu=True)",
+            "--out", str(tmp_path / "x.npz"),
+        ])
+        assert rc == 2
+        assert "unknown method" in capsys.readouterr().out
+
+    def test_query_missing_file(self, tmp_path, capsys):
+        rc = main(["query", "--index", str(tmp_path / "missing.npz")])
+        assert rc == 2
+        assert "no such index" in capsys.readouterr().out
+
+    def test_query_rejects_non_index_npz(self, tmp_path, capsys):
+        import numpy as np
+
+        bad = tmp_path / "random.npz"
+        np.savez_compressed(bad, xs=np.arange(4))
+        rc = main(["query", "--index", str(bad)])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().out
+
+    def test_query_rejects_mismatched_query_file(self, tmp_path, capsys):
+        import numpy as np
+
+        out, _ = self._build(tmp_path, capsys, spec="exact()")
+        qfile = tmp_path / "wrong.npy"
+        np.save(qfile, np.ones((2, 99)))
+        rc = main(["query", "--index", str(out), "--query-file", str(qfile)])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().out

@@ -4,7 +4,6 @@ accounting details not exercised elsewhere."""
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.baselines.h2alsh import H2ALSH
 from repro.core.promips import ProMIPS, ProMIPSParams
