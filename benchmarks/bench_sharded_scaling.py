@@ -1,0 +1,106 @@
+"""Sharded serving throughput: batch QPS at 1/2/4/8 shards.
+
+Not a paper figure: this bench records what the :class:`ShardedIndex`
+fan-out buys on a multi-core host.  The inner method is the exact scan —
+its batch path is one GEMM per shard, BLAS releases the GIL inside it, so
+shards genuinely overlap on real cores and the per-shard timings show each
+shard doing ~1/S of the work.  On a single-core host the fan-out degrades
+gracefully (thread overhead only), so the scaling assertion is gated on the
+visible core count.
+
+Run with ``pytest benchmarks/bench_sharded_scaling.py -s`` or directly with
+``python benchmarks/bench_sharded_scaling.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from common import emit
+from repro.core.sharded import ShardedIndex
+from repro.data.datasets import load_dataset
+from repro.eval.reporting import format_table
+
+N_POINTS = 20_000
+DIM = 64
+N_QUERIES = 256
+K = 10
+SHARD_COUNTS = (1, 2, 4, 8)
+REPEATS = 5
+# Below this many visible cores the fan-out cannot overlap; report only.
+MIN_CORES_FOR_ASSERT = 4
+MIN_MULTI_SHARD_SPEEDUP = 1.05
+
+
+def run_scaling_table() -> dict[str, object]:
+    dataset = load_dataset("netflix", n=N_POINTS, dim=DIM, n_queries=N_QUERIES, seed=7)
+    rows = []
+    qps_by_shards: dict[int, float] = {}
+    indexes: dict[int, ShardedIndex] = {}
+    for shards in SHARD_COUNTS:
+        index = ShardedIndex.build(
+            dataset.data, inner="exact()", shards=shards, rng=1
+        )
+        indexes[shards] = index
+        index.search_many(dataset.queries, k=K)  # untimed warm-up
+        best = np.inf
+        for _ in range(REPEATS):
+            start = time.perf_counter()
+            index.search_many(dataset.queries, k=K)
+            best = min(best, time.perf_counter() - start)
+        qps = N_QUERIES / best if best > 0 else float("inf")
+        qps_by_shards[shards] = qps
+        per_shard = index.last_shard_seconds or []
+        rows.append([
+            shards,
+            qps,
+            qps / qps_by_shards[SHARD_COUNTS[0]],
+            max(per_shard) * 1e3 if per_shard else 0.0,
+            min(per_shard) * 1e3 if per_shard else 0.0,
+        ])
+    table = format_table(
+        ["shards", "batch_qps", "vs_1_shard", "slowest_shard_ms", "fastest_shard_ms"],
+        rows,
+        title=(
+            f"sharded batch throughput — {N_POINTS}x{DIM} synthetic, "
+            f"{N_QUERIES} queries, k={K}, exact inner, "
+            f"{os.cpu_count()} cores visible"
+        ),
+    )
+    return {"qps": qps_by_shards, "table": table, "indexes": indexes,
+            "queries": dataset.queries}
+
+
+def _assert_scaling(qps: dict[int, float]) -> None:
+    cores = os.cpu_count() or 1
+    best_multi = max(q for s, q in qps.items() if s > 1)
+    if cores >= MIN_CORES_FOR_ASSERT:
+        assert best_multi >= MIN_MULTI_SHARD_SPEEDUP * qps[1], (
+            f"multi-shard batch throughput must beat 1 shard by "
+            f"≥{MIN_MULTI_SHARD_SPEEDUP}x on a {cores}-core host, measured "
+            f"{best_multi / qps[1]:.2f}x"
+        )
+    else:
+        print(
+            f"[advisory] only {cores} core(s) visible — scaling assertion "
+            f"skipped (best multi-shard ratio {best_multi / qps[1]:.2f}x)"
+        )
+
+
+def bench_sharded_scaling(benchmark):
+    out = run_scaling_table()
+    emit("sharded_scaling", out["table"])
+    _assert_scaling(out["qps"])
+
+    index = out["indexes"][max(SHARD_COUNTS)]
+    queries = out["queries"]
+    benchmark(lambda: index.search_many(queries, k=K))
+
+
+if __name__ == "__main__":
+    out = run_scaling_table()
+    emit("sharded_scaling", out["table"])
+    _assert_scaling(out["qps"])

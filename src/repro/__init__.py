@@ -7,6 +7,8 @@ Public API:
 * :func:`repro.save_index` / :func:`repro.load_index` — universal
   persistence: any built index round-trips through one ``.npz`` envelope.
 * :class:`repro.ProMIPS` / :class:`repro.ProMIPSParams` — the paper's method.
+* :class:`repro.ShardedIndex` — the sharded serving layer: horizontal
+  partitioning over any registered method with exact parallel top-k merge.
 * :class:`repro.SearchResult` / :class:`repro.SearchStats` /
   :class:`repro.BatchResult` — common result types.
 * ``repro.baselines`` — exact scan, H2-ALSH, Norm Ranging-LSH, PQ-based and
@@ -40,6 +42,7 @@ from repro.core.dynamic import DynamicProMIPS
 from repro.core.persist import inspect_index, load_index, save_index
 from repro.core.promips import ProMIPS, ProMIPSParams
 from repro.core.rng import resolve_rng
+from repro.core.sharded import ShardedIndex
 from repro.baselines.exact import ExactMIPS
 from repro.baselines.h2alsh import H2ALSH
 from repro.baselines.pq import PQBasedMIPS
@@ -55,7 +58,7 @@ from repro.spec import (
     registered_methods,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "MIPSIndex",
@@ -74,6 +77,7 @@ __all__ = [
     "search_batch",
     "search_many",
     "DynamicProMIPS",
+    "ShardedIndex",
     "load_index",
     "save_index",
     "inspect_index",

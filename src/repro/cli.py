@@ -7,7 +7,8 @@ Commands:
 * ``sweep`` — one method over a k-grid (the row source of Figs. 5–9).
 * ``tune`` — ProMIPS over a c- and p-grid (Figs. 10–11).
 * ``throughput`` — queries/sec of the looped single-query path vs the
-  vectorized ``search_many`` batch path, per method.
+  vectorized ``search_many`` batch path, per method; sharded methods also
+  report per-shard batch timings.
 * ``build`` — build any method from a declarative spec and persist the
   index to a ``.npz`` file.
 * ``query`` — reload a persisted index in a fresh process and answer the
@@ -23,6 +24,7 @@ Examples::
     python -m repro sweep --dataset sift --method "promips(c=0.8)" --ks 10,40
     python -m repro tune --dataset yahoo --cs 0.7,0.9 --ps 0.3,0.9
     python -m repro throughput --dataset netflix --n 10000 --queries 256 --k 10
+    python -m repro throughput --methods "sharded(inner='exact()', shards=4)"
     python -m repro build --spec "promips(c=0.9)" --dataset netflix --out idx.npz
     python -m repro query --index idx.npz --k 10
     python -m repro datasets
@@ -48,7 +50,7 @@ from repro.eval.harness import (
 )
 from repro.eval.metrics import overall_ratio, recall
 from repro.eval.reporting import format_series, format_table
-from repro.spec import build_index
+from repro.spec import IndexSpec, build_index, get_method
 
 __all__ = ["main"]
 
@@ -65,6 +67,24 @@ def _load(args: argparse.Namespace):
     return load_dataset(
         args.dataset, n=args.n, dim=args.dim, n_queries=args.queries, seed=args.seed
     )
+
+
+def _split_methods(text: str) -> list[str]:
+    """Split a comma list of method names, ignoring commas inside parens
+    (inline specs like ``sharded(inner='exact()', shards=4)`` carry both)."""
+    parts: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for ch in text:
+        if ch == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+            continue
+        depth += ch == "("
+        depth -= ch == ")"
+        current.append(ch)
+    parts.append("".join(current).strip())
+    return [p for p in parts if p]
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -148,15 +168,30 @@ def _cmd_throughput(args: argparse.Namespace) -> int:
     dataset = _load(args)
     registry = default_registry(include_extras=True)
     methods = (
-        registry.names() if args.methods == "all" else args.methods.split(",")
+        registry.names() if args.methods == "all" else _split_methods(args.methods)
     )
-    unknown = [m for m in methods if m not in registry.names()]
-    if unknown:
-        print(f"error: unknown methods {unknown}; known: {registry.names()}")
-        return 2
-    rows = []
+    # Reject typos before the expensive build+measure loop: every entry must
+    # be a registry name or an inline spec naming a registered method.
     for method in methods:
-        index, _ = build_method(registry, method, dataset, seed=1)
+        if method in registry.names():
+            continue
+        try:
+            get_method(IndexSpec.parse(method).method)
+        except (ValueError, KeyError):
+            print(
+                f"error: unknown method {method!r}; known: {registry.names()} "
+                "or an inline spec like \"sharded(inner='exact()', shards=4)\""
+            )
+            return 2
+    rows = []
+    shard_lines = []
+    for method in methods:
+        # Registry names and inline specs both resolve through registry.build.
+        try:
+            index, _ = build_method(registry, method, dataset, seed=1)
+        except (KeyError, ValueError) as exc:
+            print(f"error: {exc}")
+            return 2
         report = measure_throughput(
             index,
             dataset.queries,
@@ -172,6 +207,11 @@ def _cmd_throughput(args: argparse.Namespace) -> int:
             report.batch_qps,
             report.speedup,
         ])
+        if report.shard_seconds is not None:
+            timings = ", ".join(
+                f"s{i}={sec * 1e3:.2f}ms" for i, sec in enumerate(report.shard_seconds)
+            )
+            shard_lines.append(f"{method}: per-shard batch time [{timings}]")
     print(format_table(
         ["method", "batch_path", "loop_qps", "batch_qps", "speedup"],
         rows,
@@ -180,6 +220,8 @@ def _cmd_throughput(args: argparse.Namespace) -> int:
             f"(n={dataset.n}, d={dataset.dim}, q={len(dataset.queries)}, k={args.k})"
         ),
     ))
+    for line in shard_lines:
+        print(line)
     return 0
 
 
@@ -322,7 +364,9 @@ def build_parser() -> argparse.ArgumentParser:
     throughput.add_argument("--k", type=int, default=10)
     throughput.add_argument(
         "--methods", default="all",
-        help='comma list from the registry (+ "Exact", "SimHash"), or "all"',
+        help='comma list from the registry (+ "Exact", "SimHash", "Sharded"), '
+             'an inline spec like "sharded(inner=\'exact()\', shards=4)", '
+             'or "all"',
     )
     throughput.add_argument("--repeats", type=int, default=3)
     throughput.set_defaults(func=_cmd_throughput)

@@ -12,6 +12,7 @@ list-of-results signature and aggregates :class:`BatchStats`.
 
 from __future__ import annotations
 
+import inspect
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
@@ -69,9 +70,11 @@ def search_many(
         index: any MIPS index (ProMIPS or a baseline).
         queries: ``(n_q, d)`` array (one ``(d,)`` query is promoted).
         k: results per query.
-        n_threads: fan the *fallback* loop out over this many threads; the
-            natively vectorized paths ignore it (one GEMM already saturates
-            the cores BLAS is configured for).
+        n_threads: fan-out width.  Single-GEMM native paths ignore it (one
+            GEMM already saturates the cores BLAS is configured for), but a
+            native path that itself fans out — ``ShardedIndex`` — receives
+            it as its pool width, and the generic fallback loop spreads
+            over this many threads.
         **search_kwargs: forwarded to the index (e.g. ProMIPS ``c=0.8``).
     """
     queries = np.asarray(queries, dtype=np.float64)
@@ -82,6 +85,14 @@ def search_many(
         return BatchResult.empty()
     queries = np.atleast_2d(queries)
     if has_native_batch(index):
+        native = type(index).search_many
+        if (
+            n_threads is not None
+            and "n_threads" in inspect.signature(native).parameters
+        ):
+            return index.search_many(
+                queries, k=k, n_threads=n_threads, **search_kwargs
+            )
         return index.search_many(queries, k=k, **search_kwargs)
     if n_threads is not None and n_threads > 1 and queries.shape[0] > 1:
         with ThreadPoolExecutor(max_workers=n_threads) as pool:

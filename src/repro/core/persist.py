@@ -24,7 +24,13 @@ import numpy as np
 
 from repro.spec import IndexSpec, get_method
 
-__all__ = ["save_index", "load_index", "inspect_index"]
+__all__ = [
+    "save_index",
+    "load_index",
+    "inspect_index",
+    "pack_substate",
+    "unpack_substate",
+]
 
 _FORMAT_VERSION = 2
 _STATE_PREFIX = "state__"
@@ -78,6 +84,65 @@ def save_index(index, path: str | Path, extra_meta: dict | None = None) -> Path:
         **{f"{_STATE_PREFIX}{k}": v for k, v in state.items()},
     )
     return path
+
+
+def pack_substate(index, prefix: str) -> dict[str, np.ndarray]:
+    """Flatten a built index into a prefixed *sub-envelope* of plain arrays.
+
+    Composite indexes (e.g. :class:`repro.core.sharded.ShardedIndex`) nest
+    other registered methods inside their own ``state()``.  This helper
+    serialises one inner index the same way :func:`save_index` would — a
+    JSON meta blob naming the method and its spec, plus its state arrays —
+    but into a flat dict under ``prefix`` instead of a file, so the composite
+    still persists through the single v2 ``.npz`` envelope.
+
+    Args:
+        index: a built index implementing the registry contract.
+        prefix: key prefix for this sub-envelope; end it with a delimiter
+            (e.g. ``"shard0_"``) so prefixes cannot shadow each other.
+
+    Returns:
+        ``{f"{prefix}__meta__": ..., f"{prefix}state__{k}": ...}`` arrays,
+        invertible with :func:`unpack_substate`.
+    """
+    method = getattr(type(index), "method_name", None)
+    if method is None or not (hasattr(index, "spec") and hasattr(index, "state")):
+        raise TypeError(
+            f"{type(index).__name__} is not a registered method "
+            "(missing @register_method / spec() / state())"
+        )
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "method": method,
+        "spec": index.spec().to_dict(),
+    }
+    out: dict[str, np.ndarray] = {f"{prefix}__meta__": _encode_meta(meta)}
+    for key, value in index.state().items():
+        if not isinstance(value, np.ndarray):
+            raise TypeError(f"state() of {method!r} returned non-array entry {key!r}")
+        out[f"{prefix}{_STATE_PREFIX}{key}"] = value
+    return out
+
+
+def unpack_substate(state: dict[str, np.ndarray], prefix: str):
+    """Reconstruct an index packed by :func:`pack_substate` under ``prefix``."""
+    meta_key = f"{prefix}__meta__"
+    if meta_key not in state:
+        raise ValueError(f"no sub-envelope under prefix {prefix!r}")
+    meta = _decode_meta(state[meta_key])
+    if meta.get("format_version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported sub-envelope format {meta.get('format_version')!r} "
+            f"(expected {_FORMAT_VERSION})"
+        )
+    spec = IndexSpec.from_dict(meta["spec"])
+    body_prefix = f"{prefix}{_STATE_PREFIX}"
+    sub_state = {
+        key[len(body_prefix):]: np.asarray(value)
+        for key, value in state.items()
+        if key.startswith(body_prefix)
+    }
+    return get_method(meta["method"]).from_state(spec, sub_state)
 
 
 def load_index(path: str | Path):

@@ -160,9 +160,10 @@ def default_registry(
     fixed spec.
 
     Args:
-        include_extras: also register the off-paper methods ("Exact" and
-            "SimHash") — useful for throughput comparisons where the exact
-            scan's one-GEMM batch path is the reference.
+        include_extras: also register the off-paper methods ("Exact",
+            "SimHash", and the "Sharded" serving layer over the exact scan) —
+            useful for throughput comparisons where the exact scan's one-GEMM
+            batch path is the reference.
     """
     registry = MethodRegistry()
 
@@ -206,6 +207,13 @@ def default_registry(
         )
         registry.register(
             "SimHash", lambda ds: IndexSpec("simhash", {"page_size": ds.page_size})
+        )
+        registry.register(
+            "Sharded",
+            lambda ds: IndexSpec(
+                "sharded",
+                {"inner": f"exact(page_size={ds.page_size})", "shards": 4},
+            ),
         )
     return registry
 
@@ -299,6 +307,8 @@ class ThroughputReport:
         speedup: ``batch_qps / loop_qps``.
         native_batch: whether the index has a vectorized ``search_many`` (as
             opposed to the generic loop fallback).
+        shard_seconds: per-shard wall-clock seconds of the final timed batch
+            (sharded indexes only; ``None`` for single-index methods).
     """
 
     method: str
@@ -309,6 +319,7 @@ class ThroughputReport:
     batch_qps: float
     speedup: float
     native_batch: bool
+    shard_seconds: list[float] | None = None
 
 
 def measure_throughput(
@@ -349,6 +360,7 @@ def measure_throughput(
 
     loop_qps = n_queries / loop_best if loop_best > 0 else float("inf")
     batch_qps = n_queries / batch_best if batch_best > 0 else float("inf")
+    shard_seconds = getattr(index, "last_shard_seconds", None)
     return ThroughputReport(
         method=method,
         dataset=dataset,
@@ -358,4 +370,5 @@ def measure_throughput(
         batch_qps=batch_qps,
         speedup=batch_qps / loop_qps if loop_qps > 0 else float("inf"),
         native_batch=has_native_batch(index),
+        shard_seconds=list(shard_seconds) if shard_seconds is not None else None,
     )

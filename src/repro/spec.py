@@ -30,7 +30,8 @@ The **registry contract**: an index class registers itself with the
 registered method through one versioned ``.npz`` envelope.
 
 Registered methods (canonical names): ``promips``, ``dynamic``, ``h2alsh``,
-``rangelsh``, ``pq``, ``exact``, ``simhash``.  The paper's display names
+``rangelsh``, ``pq``, ``exact``, ``simhash``, and the composite ``sharded``
+(horizontal partitioning over any of the others).  The paper's display names
 ("ProMIPS", "H2-ALSH", "Range-LSH", "PQ-Based", ...) are registered aliases,
 so harness and CLI names resolve to the same classes.
 """
@@ -195,6 +196,7 @@ _METHOD_MODULES = (
     "repro.baselines.rangelsh",
     "repro.baselines.h2alsh",
     "repro.baselines.pq",
+    "repro.core.sharded",
 )
 
 

@@ -36,3 +36,10 @@ def exact_topk_reference(data: np.ndarray, query: np.ndarray, k: int):
     ips = data @ query
     order = np.lexsort((np.arange(len(ips)), -ips))[:k]
     return order, ips[order]
+
+
+@pytest.fixture(scope="session")
+def exact_topk():
+    """The brute-force oracle as a fixture, so test modules share one
+    implementation of the (-score, id) ground-truth order."""
+    return exact_topk_reference

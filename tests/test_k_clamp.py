@@ -1,0 +1,94 @@
+"""Uniform ``k > n`` clamping across every registered method.
+
+The serving layer treats all methods interchangeably, so an over-asked ``k``
+must behave identically everywhere: clamp to the number of (live) points,
+return that many results from both ``search`` and ``search_many``, never pad
+with sentinel ids, and never raise.  This suite is the shared regression
+guard the sharded merge relies on — a shard is exactly a "1-shard/edge-size
+dataset" from its inner index's point of view.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import BatchResult
+from repro.spec import build_index, registered_methods
+
+# One cheaply-buildable spec per registered method, viable down to n=1.
+EDGE_SPECS = {
+    "promips": "promips(c=0.85, p=0.6, m=4, kp=2, n_key=6, ksp=3)",
+    "dynamic": "dynamic(c=0.85, m=4, kp=2, n_key=6, ksp=3)",
+    "h2alsh": "h2alsh(c=0.9)",
+    "rangelsh": "rangelsh(c=0.9, n_parts=4)",
+    "pq": "pq(n_coarse=2, n_centroids=4, min_local_train=2)",
+    "exact": "exact()",
+    "simhash": "simhash(n_bits=24)",
+    "sharded": "sharded(inner='exact()', shards=3)",
+}
+
+
+def test_edge_specs_cover_every_method():
+    assert set(EDGE_SPECS) == set(registered_methods())
+
+
+@pytest.mark.parametrize("n", [1, 3, 40])
+@pytest.mark.parametrize("method", sorted(EDGE_SPECS))
+def test_k_exceeding_n_clamps_uniformly(method, n):
+    gen = np.random.default_rng(3)
+    data = gen.standard_normal((n, 16))
+    queries = gen.standard_normal((3, 16))
+    index = build_index(EDGE_SPECS[method], data, rng=5)
+
+    k = n + 60
+    single = index.search(queries[0], k=k)
+    assert len(single) == n
+
+    batch = index.search_many(queries, k=k)
+    assert batch.ids.shape == (3, n)
+    assert not np.any(batch.ids == BatchResult.PAD_ID)
+    assert np.all(np.isfinite(batch.scores))
+    # Row 0 of the batch is the single answer (the engine's parity promise
+    # holds at the clamped width too).
+    assert np.array_equal(batch.ids[0], single.ids)
+    assert np.array_equal(batch.scores[0], single.scores)
+
+
+@pytest.mark.parametrize("method", sorted(EDGE_SPECS))
+def test_k_equal_to_n_is_the_full_ranking(method):
+    gen = np.random.default_rng(4)
+    data = gen.standard_normal((12, 16))
+    query = gen.standard_normal(16)
+    index = build_index(EDGE_SPECS[method], data, rng=5)
+    result = index.search(query, k=12)
+    assert len(result) == 12
+    assert sorted(result.ids.tolist()) == list(range(12))
+    # Scores are descending (ties allowed).
+    assert np.all(np.diff(result.scores) <= 0)
+
+
+def test_dynamic_clamps_to_live_points_not_stored_points():
+    gen = np.random.default_rng(5)
+    data = gen.standard_normal((10, 16))
+    index = build_index(EDGE_SPECS["dynamic"], data, rng=5)
+    index.delete(2)
+    index.delete(7)
+    result = index.search(gen.standard_normal(16), k=50)
+    assert len(result) == 8
+    assert not {2, 7} & set(result.ids.tolist())
+
+
+def test_sharded_dynamic_clamps_to_live_points():
+    gen = np.random.default_rng(6)
+    data = gen.standard_normal((12, 16))
+    index = build_index(
+        "sharded(inner='dynamic(c=0.85, m=4, kp=2, n_key=6, ksp=3)', shards=3)",
+        data,
+        rng=5,
+    )
+    index.delete(0)
+    index.delete(11)
+    batch = index.search_many(data[:2], k=99)
+    assert batch.ids.shape == (2, 10)
+    assert not np.any(batch.ids == BatchResult.PAD_ID)

@@ -20,6 +20,10 @@ METHOD_SPECS = {
     "pq": "pq(n_coarse=4, n_centroids=16, min_local_train=64)",
     "exact": "exact()",
     "simhash": "simhash(n_bits=24)",
+    "sharded": (
+        "sharded(inner='promips(c=0.85, p=0.6, m=5, kp=3, n_key=10, ksp=4)',"
+        " shards=3)"
+    ),
 }
 
 

@@ -1,0 +1,87 @@
+"""Recall regression guard: seeded per-method floors.
+
+Every registered method is built with a fixed seed on the shared
+``latent_small`` workload and its mean recall@10 is asserted against a
+recorded floor.  The floors sit ~0.08 below the values measured when they
+were recorded (listed alongside), so a refactor that silently degrades
+answer quality — a broken probe schedule, a lost candidate, a wrong
+tie-break — fails loudly, while last-ulp BLAS differences across platforms
+do not.
+
+When a *deliberate* quality change moves a method, re-measure and update the
+floor in the same commit, with the new measured value in the comment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval.metrics import recall
+from repro.spec import build_index, registered_methods
+
+K = 10
+BUILD_SEED = 11
+
+# method -> (spec, floor); measured mean recall@10 at recording time in the
+# trailing comment.  Approximate methods get the wider margin.
+FLOORS = {
+    "promips": (
+        "promips(c=0.9, p=0.5, m=5, kp=3, n_key=10, ksp=4)",
+        0.78,  # measured 0.8667
+    ),
+    "dynamic": (
+        "dynamic(c=0.9, p=0.5, m=5, kp=3, n_key=10, ksp=4)",
+        0.78,  # measured 0.8667
+    ),
+    "h2alsh": ("h2alsh(c=0.9)", 0.87),  # measured 0.9500
+    "rangelsh": ("rangelsh(c=0.9, n_parts=8)", 0.81),  # measured 0.8917
+    "pq": (
+        "pq(n_coarse=8, n_centroids=16, min_local_train=32)",
+        0.92,  # measured 1.0000
+    ),
+    "exact": ("exact()", 1.0),  # exact by construction: no margin
+    "simhash": ("simhash(n_bits=32)", 0.91),  # measured 0.9917
+    "sharded": (
+        "sharded(inner='promips(c=0.9, p=0.5, m=5, kp=3, n_key=10, ksp=4)',"
+        " shards=3)",
+        0.87,  # measured 0.9500
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def workload(latent_small, exact_topk):
+    data, queries = latent_small
+    exact_ids = [exact_topk(data, q, K)[0] for q in queries]
+    return data, queries, exact_ids
+
+
+def test_every_registered_method_has_a_floor():
+    """A new method must record a floor before it ships."""
+    assert set(FLOORS) == set(registered_methods())
+
+
+@pytest.mark.parametrize("method", sorted(FLOORS))
+def test_recall_floor(workload, method):
+    data, queries, exact_ids = workload
+    spec, floor = FLOORS[method]
+    index = build_index(spec, data, rng=BUILD_SEED)
+    recalls = [
+        recall(index.search(q, k=K).ids, exact_ids[qi])
+        for qi, q in enumerate(queries)
+    ]
+    mean_recall = float(np.mean(recalls))
+    assert mean_recall >= floor, (
+        f"{method} mean recall@{K} regressed to {mean_recall:.4f} "
+        f"(recorded floor {floor}); if this change is intentional, "
+        f"re-measure and update FLOORS"
+    )
+
+
+def test_sharded_exact_recall_is_perfect(workload):
+    """Sharding an exact method must not cost a single hit."""
+    data, queries, exact_ids = workload
+    index = build_index("sharded(inner='exact()', shards=4)", data, rng=BUILD_SEED)
+    for qi, q in enumerate(queries):
+        assert recall(index.search(q, k=K).ids, exact_ids[qi]) == 1.0

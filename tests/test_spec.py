@@ -103,7 +103,8 @@ class TestParse:
 class TestRegistry:
     def test_all_methods_registered(self):
         assert registered_methods() == [
-            "dynamic", "exact", "h2alsh", "pq", "promips", "rangelsh", "simhash",
+            "dynamic", "exact", "h2alsh", "pq", "promips", "rangelsh",
+            "sharded", "simhash",
         ]
 
     @pytest.mark.parametrize("alias,cls", [
@@ -195,7 +196,12 @@ class TestHarnessRegistrySpecs:
         for name in registry.names():
             spec = registry.spec_for(name, dataset)
             assert isinstance(spec, IndexSpec), name
-            assert spec.params.get("page_size") == dataset.page_size, name
+            if spec.method == "sharded":
+                # Composite: the page size lives in the inner method's spec.
+                inner = IndexSpec.parse(spec.params["inner"])
+                assert inner.params.get("page_size") == dataset.page_size, name
+            else:
+                assert spec.params.get("page_size") == dataset.page_size, name
 
     def test_inline_spec_builds(self):
         from repro.data.datasets import load_dataset
