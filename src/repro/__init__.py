@@ -9,6 +9,9 @@ Public API:
 * :class:`repro.ProMIPS` / :class:`repro.ProMIPSParams` — the paper's method.
 * :class:`repro.ShardedIndex` — the sharded serving layer: horizontal
   partitioning over any registered method with exact parallel top-k merge.
+* :class:`repro.ServingRuntime` / :func:`repro.make_server` — the online
+  serving runtime: micro-batching coalescer + generation-aware result cache
+  + latency telemetry behind a stdlib JSON HTTP API (``repro serve``).
 * :class:`repro.SearchResult` / :class:`repro.SearchStats` /
   :class:`repro.BatchResult` — common result types.
 * ``repro.baselines`` — exact scan, H2-ALSH, Norm Ranging-LSH, PQ-based and
@@ -43,6 +46,7 @@ from repro.core.persist import inspect_index, load_index, save_index
 from repro.core.promips import ProMIPS, ProMIPSParams
 from repro.core.rng import resolve_rng
 from repro.core.sharded import ShardedIndex
+from repro.serve import MicroBatcher, ResultCache, ServingRuntime, build_runtime, make_server
 from repro.baselines.exact import ExactMIPS
 from repro.baselines.h2alsh import H2ALSH
 from repro.baselines.pq import PQBasedMIPS
@@ -58,7 +62,7 @@ from repro.spec import (
     registered_methods,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "MIPSIndex",
@@ -78,6 +82,11 @@ __all__ = [
     "search_many",
     "DynamicProMIPS",
     "ShardedIndex",
+    "ServingRuntime",
+    "MicroBatcher",
+    "ResultCache",
+    "build_runtime",
+    "make_server",
     "load_index",
     "save_index",
     "inspect_index",

@@ -43,6 +43,7 @@ __all__ = [
     "BatchResult",
     "MIPSIndex",
     "BatchSearchMixin",
+    "validate_k",
     "validate_query",
     "validate_queries",
 ]
@@ -195,6 +196,34 @@ class BatchSearchMixin:
         return BatchResult.from_results(
             [self.search(q, k=k, **kwargs) for q in queries]
         )
+
+
+def validate_k(k) -> int:
+    """Normalise a top-k request to a positive Python int — or raise.
+
+    Every registered method's ``search``/``search_many`` funnels ``k``
+    through this one check, so an invalid request fails identically
+    everywhere (before this audit, ``k=2.5`` silently truncated in some
+    methods and surfaced as obscure numpy ``TypeError``s in others).  The
+    uniform error is a ``ValueError`` so the serving layer can map every
+    bad-request shape to one HTTP 400 path.
+
+    Accepted: positive ints (numpy integers included) and integral floats —
+    JSON clients often deliver ``5.0``.  Rejected with the same message:
+    zero, negatives, non-integral floats, bools, and non-numbers.
+    """
+    if isinstance(k, (bool, np.bool_)):
+        raise ValueError(f"k must be a positive integer, got {k!r}")
+    if isinstance(k, (float, np.floating)):
+        if not float(k).is_integer():
+            raise ValueError(f"k must be a positive integer, got {k!r}")
+        k = int(k)
+    if not isinstance(k, (int, np.integer)):
+        raise ValueError(f"k must be a positive integer, got {k!r}")
+    k = int(k)
+    if k <= 0:
+        raise ValueError(f"k must be a positive integer, got {k}")
+    return k
 
 
 def validate_query(query: np.ndarray, dim: int) -> np.ndarray:

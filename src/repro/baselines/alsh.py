@@ -32,7 +32,13 @@ import heapq
 
 import numpy as np
 
-from repro.api import BatchSearchMixin, SearchResult, SearchStats, validate_query
+from repro.api import (
+    BatchSearchMixin,
+    SearchResult,
+    SearchStats,
+    validate_k,
+    validate_query,
+)
 from repro.baselines.e2lsh import E2LSH
 from repro.baselines.rangelsh import RangeLSH
 from repro.baselines.simhash import SimHash, hamming_distance
@@ -111,8 +117,7 @@ class L2ALSH(BatchSearchMixin):
 
     def search(self, query: np.ndarray, k: int = 1) -> SearchResult:
         """c-k-AMIP via E2LSH collisions + exact verification."""
-        if k <= 0:
-            raise ValueError(f"k must be positive, got {k}")
+        k = validate_k(k)
         query = validate_query(query, self.dim)
         k = min(k, self.n)
         index_pages = [0]
@@ -190,8 +195,7 @@ class SignALSH(BatchSearchMixin):
 
     def search(self, query: np.ndarray, k: int = 1) -> SearchResult:
         """c-k-AMIP via Hamming ranking + exact verification."""
-        if k <= 0:
-            raise ValueError(f"k must be positive, got {k}")
+        k = validate_k(k)
         query = validate_query(query, self.dim)
         k = min(k, self.n)
         q_norm = float(np.linalg.norm(query))

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api import validate_k
 from repro.storage.pagefile import DEFAULT_PAGE_SIZE, VectorReader
 
 __all__ = ["E2LSH"]
@@ -127,8 +128,7 @@ class E2LSH:
         Returns ``(ids, distances, n_verified)`` ascending by distance; may
         return fewer than ``k`` when collisions are scarce.
         """
-        if k <= 0:
-            raise ValueError(f"k must be positive, got {k}")
+        k = validate_k(k)
         cands = self.candidates(query, index_pages=index_pages)
         if cands.size == 0:
             return np.empty(0, dtype=np.int64), np.empty(0), 0

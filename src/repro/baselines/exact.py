@@ -19,6 +19,7 @@ from repro.api import (
     BatchResult,
     SearchResult,
     SearchStats,
+    validate_k,
     validate_query,
     validate_queries,
 )
@@ -80,8 +81,7 @@ class ExactMIPS:
 
     def search(self, query: np.ndarray, k: int = 1) -> SearchResult:
         """Exact top-k MIP by scanning every page of the data file."""
-        if k <= 0:
-            raise ValueError(f"k must be positive, got {k}")
+        k = validate_k(k)
         query = validate_query(query, self.dim)
         reader = self._store.reader()
         data = reader.scan_all()
@@ -98,8 +98,7 @@ class ExactMIPS:
         sequential scan it would cost standalone, keeping the paper's
         cold-query page accounting comparable between both paths.
         """
-        if k <= 0:
-            raise ValueError(f"k must be positive, got {k}")
+        k = validate_k(k)
         queries = validate_queries(queries, self.dim)
         if queries.shape[0] == 0:
             return BatchResult.empty()

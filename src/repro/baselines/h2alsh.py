@@ -23,7 +23,13 @@ import heapq
 
 import numpy as np
 
-from repro.api import BatchSearchMixin, SearchResult, SearchStats, validate_query
+from repro.api import (
+    BatchSearchMixin,
+    SearchResult,
+    SearchStats,
+    validate_k,
+    validate_query,
+)
 from repro.baselines.qalsh import QALSH, derive_qalsh_params
 from repro.baselines.transforms import (
     qnf_distance_to_ip,
@@ -195,8 +201,7 @@ class H2ALSH(BatchSearchMixin):
 
     def search(self, query: np.ndarray, k: int = 1) -> SearchResult:
         """c-k-AMIP search over the shells with early termination."""
-        if k <= 0:
-            raise ValueError(f"k must be positive, got {k}")
+        k = validate_k(k)
         query = validate_query(query, self.dim)
         k = min(k, self.n)
         q_norm = float(np.linalg.norm(query))

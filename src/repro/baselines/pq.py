@@ -30,6 +30,7 @@ from repro.api import (
     BatchResult,
     SearchResult,
     SearchStats,
+    validate_k,
     validate_query,
     validate_queries,
 )
@@ -416,8 +417,7 @@ class PQBasedMIPS:
 
     def search(self, query: np.ndarray, k: int = 1) -> SearchResult:
         """ADC search over the probed cells, then exact re-ranking."""
-        if k <= 0:
-            raise ValueError(f"k must be positive, got {k}")
+        k = validate_k(k)
         query = validate_query(query, self.dim)
         return self.search_many(query[None, :], k=k)[0]
 
@@ -431,8 +431,7 @@ class PQBasedMIPS:
         re-ranking of each query's short-list stays per query (short-lists
         rarely overlap).
         """
-        if k <= 0:
-            raise ValueError(f"k must be positive, got {k}")
+        k = validate_k(k)
         queries = validate_queries(queries, self.dim)
         k = min(k, self.n)
         # Bound peak memory: the per-cell ADC accumulators scale with

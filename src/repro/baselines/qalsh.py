@@ -34,6 +34,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.api import validate_k
 from repro.core.rng import resolve_rng
 from repro.stats.special import std_normal_cdf
 from repro.storage.pagefile import DEFAULT_PAGE_SIZE, VectorReader
@@ -213,8 +214,7 @@ class QALSH:
         query = np.asarray(query, dtype=np.float64).reshape(-1)
         if query.shape[0] != self.dim:
             raise ValueError(f"query has dimension {query.shape[0]}, expected {self.dim}")
-        if k <= 0:
-            raise ValueError(f"k must be positive, got {k}")
+        k = validate_k(k)
         k = min(k, self.n)
         params = self.params
         m = params.n_hash

@@ -27,7 +27,13 @@ import heapq
 
 import numpy as np
 
-from repro.api import BatchSearchMixin, SearchResult, SearchStats, validate_query
+from repro.api import (
+    BatchSearchMixin,
+    SearchResult,
+    SearchStats,
+    validate_k,
+    validate_query,
+)
 from repro.baselines.simhash import SimHash, hamming_distance
 from repro.baselines.transforms import (
     simple_lsh_transform_data,
@@ -156,8 +162,7 @@ class RangeLSH(BatchSearchMixin):
 
     def search(self, query: np.ndarray, k: int = 1) -> SearchResult:
         """c-k-AMIP search by probing (subset, Hamming-level) buckets."""
-        if k <= 0:
-            raise ValueError(f"k must be positive, got {k}")
+        k = validate_k(k)
         query = validate_query(query, self.dim)
         k = min(k, self.n)
         q_norm = float(np.linalg.norm(query))

@@ -23,6 +23,7 @@ from repro.api import (
     BatchResult,
     SearchResult,
     SearchStats,
+    validate_k,
     validate_queries,
 )
 from repro.baselines.transforms import (
@@ -232,8 +233,7 @@ class SimHashMIPS:
 
     def search_many(self, queries: np.ndarray, k: int = 1) -> BatchResult:
         """Batch search: one encode GEMM + blocked Hamming matrix scan."""
-        if k <= 0:
-            raise ValueError(f"k must be positive, got {k}")
+        k = validate_k(k)
         queries = validate_queries(queries, self.dim)
         if queries.shape[0] == 0:
             return BatchResult.empty()

@@ -13,6 +13,10 @@ Commands:
   index to a ``.npz`` file.
 * ``query`` — reload a persisted index in a fresh process and answer the
   evaluation workload (or a query file) against it.
+* ``serve`` — expose any index over HTTP: a JSON API with a micro-batching
+  coalescer, a generation-aware result cache, and latency telemetry
+  (see :mod:`repro.serve.server`); boots from an inline spec or a
+  persisted ``.npz`` envelope.
 * ``datasets`` — print Table III for the sim and paper profiles.
 
 Method arguments accept registry names ("ProMIPS", "H2-ALSH", ...) or
@@ -27,6 +31,8 @@ Examples::
     python -m repro throughput --methods "sharded(inner='exact()', shards=4)"
     python -m repro build --spec "promips(c=0.9)" --dataset netflix --out idx.npz
     python -m repro query --index idx.npz --k 10
+    python -m repro serve --spec "dynamic(c=0.9)" --dataset netflix --port 8080
+    python -m repro serve --index idx.npz --port 8080
     python -m repro datasets
 """
 
@@ -51,6 +57,8 @@ from repro.eval.harness import (
 from repro.eval.metrics import overall_ratio, recall
 from repro.eval.reporting import format_series, format_table
 from repro.spec import IndexSpec, build_index, get_method
+
+from repro import __version__
 
 __all__ = ["main"]
 
@@ -309,6 +317,55 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_runtime(args: argparse.Namespace):
+    """Build the :class:`repro.serve.ServingRuntime` the ``serve`` command
+    will expose (split out so tests can boot it without a serve loop)."""
+    from repro.serve import build_runtime
+
+    runtime_kwargs = dict(
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        cache_size=args.cache_size,
+        coalesce=not args.no_coalesce,
+    )
+    if args.index is not None:
+        path = Path(args.index)
+        if not path.exists():
+            raise ValueError(f"no such index file {path}")
+        return build_runtime(index_path=path, **runtime_kwargs)
+    dataset = _load(args)
+    return build_runtime(
+        spec=args.spec, data=dataset.data, rng=args.build_seed, **runtime_kwargs
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import make_server
+
+    try:
+        runtime = _serve_runtime(args)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}")
+        return 2
+    server = make_server(runtime, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    health = runtime.health()
+    print(f"serving {health.get('spec', type(runtime.index).__name__)} "
+          f"({health['n_live']} points, d={health['dim']}) "
+          f"on http://{host}:{port}")
+    print("endpoints: POST /search /search_batch /insert /delete, "
+          "GET /stats /healthz  (Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        runtime.close()
+    return 0
+
+
 def _cmd_datasets(args: argparse.Namespace) -> int:
     for profile in ("paper", "sim"):
         kwargs: dict = {"n_queries": 2}
@@ -332,6 +389,9 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="ProMIPS reproduction experiment runner"
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -404,6 +464,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the top-k of the first N queries",
     )
     query.set_defaults(func=_cmd_query)
+
+    serve = sub.add_parser(
+        "serve", help="serve an index over HTTP (coalescing + caching JSON API)"
+    )
+    _add_dataset_args(serve)
+    source = serve.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--spec",
+        help='build fresh from an inline spec, e.g. "dynamic(c=0.9)" '
+             "(uses the --dataset workload options)",
+    )
+    source.add_argument(
+        "--index", help="boot from a persisted .npz envelope written by `build`"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8080, help="0 picks a free port"
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=32, dest="max_batch",
+        help="most concurrent searches coalesced into one batched dispatch",
+    )
+    serve.add_argument(
+        "--max-wait-ms", type=float, default=2.0, dest="max_wait_ms",
+        help="longest a search waits to coalesce with neighbours",
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=1024, dest="cache_size",
+        help="LRU result-cache entries (0 disables caching)",
+    )
+    serve.add_argument(
+        "--no-coalesce", action="store_true",
+        help="dispatch each request individually (debugging / baseline mode)",
+    )
+    serve.add_argument(
+        "--build-seed", type=int, default=1, dest="build_seed",
+        help="rng seed when building from --spec",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     datasets = sub.add_parser("datasets", help="print Table III")
     datasets.add_argument("--n", type=int, default=None)

@@ -40,13 +40,17 @@ class BatchStats:
 
     @classmethod
     def from_batch(cls, batch: BatchResult) -> "BatchStats":
+        # Deferred import: repro.eval pulls the harness in, which imports
+        # this module back — at call time the cycle has long resolved.
+        from repro.eval.metrics import p95
+
         if len(batch) == 0:
             return cls(n_queries=0, mean_pages=0.0, p95_pages=0.0, total_candidates=0)
-        pages = np.array([s.pages for s in batch.stats], dtype=np.float64)
+        pages = [s.pages for s in batch.stats]
         return cls(
             n_queries=len(batch),
-            mean_pages=float(pages.mean()),
-            p95_pages=float(np.percentile(pages, 95)),
+            mean_pages=float(np.mean(pages)),
+            p95_pages=p95(pages),
             total_candidates=int(sum(s.candidates for s in batch.stats)),
         )
 

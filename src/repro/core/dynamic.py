@@ -29,7 +29,13 @@ import numpy as np
 
 from dataclasses import asdict
 
-from repro.api import BatchSearchMixin, SearchResult, SearchStats, validate_query
+from repro.api import (
+    BatchSearchMixin,
+    SearchResult,
+    SearchStats,
+    validate_k,
+    validate_query,
+)
 from repro.core.promips import ProMIPS, ProMIPSParams
 from repro.core.rng import resolve_rng
 from repro.spec import IndexSpec, register_method
@@ -223,8 +229,7 @@ class DynamicProMIPS(BatchSearchMixin):
 
     def search(self, query: np.ndarray, k: int = 1, **kwargs) -> SearchResult:
         """c-k-AMIP search over indexed + delta points, minus tombstones."""
-        if k <= 0:
-            raise ValueError(f"k must be positive, got {k}")
+        k = validate_k(k)
         query = validate_query(query, self.dim)
         k = min(k, self.n_live)
 

@@ -27,6 +27,8 @@ import math
 
 import numpy as np
 
+from repro.api import validate_k
+
 __all__ = [
     "GEMM_PANEL",
     "batch_inner_products",
@@ -83,8 +85,7 @@ def topk_ids_scores(ips: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
     ``O(n + k log k)`` via argpartition + a stable sort of the short-list.
     """
     ips = np.asarray(ips)
-    if k <= 0:
-        raise ValueError(f"k must be positive, got {k}")
+    k = validate_k(k)
     k = min(k, ips.shape[0])
     part = np.argpartition(-ips, k - 1)[:k]
     order = part[np.lexsort((part, -ips[part]))]
@@ -101,8 +102,7 @@ def batch_topk(scores: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
     """
     scores = np.atleast_2d(scores)
     n_q, n = scores.shape
-    if k <= 0:
-        raise ValueError(f"k must be positive, got {k}")
+    k = validate_k(k)
     k = min(k, n)
     # One fused pass materialises the (usually transposed-GEMM) input as a
     # C-contiguous *negated* copy — argpartition then needs no second

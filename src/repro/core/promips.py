@@ -31,6 +31,7 @@ from repro.api import (
     BatchResult,
     SearchResult,
     SearchStats,
+    validate_k,
     validate_query,
     validate_queries,
 )
@@ -392,8 +393,7 @@ class ProMIPS:
         """
         c = self.params.c if c is None else c
         p = self.params.p if p is None else p
-        if k <= 0:
-            raise ValueError(f"k must be positive, got {k}")
+        k = validate_k(k)
         query = validate_query(query, self.dim)
         k = min(k, self.n)
 
@@ -427,8 +427,7 @@ class ProMIPS:
         """
         c = self.params.c if c is None else c
         p = self.params.p if p is None else p
-        if k <= 0:
-            raise ValueError(f"k must be positive, got {k}")
+        k = validate_k(k)
         queries = validate_queries(queries, self.dim)
         if queries.shape[0] == 0:
             return BatchResult.empty()
@@ -459,8 +458,7 @@ class ProMIPS:
         """
         c = self.params.c if c is None else c
         p = self.params.p if p is None else p
-        if k <= 0:
-            raise ValueError(f"k must be positive, got {k}")
+        k = validate_k(k)
         query = validate_query(query, self.dim)
         k = min(k, self.n)
 

@@ -48,6 +48,7 @@ from repro.api import (
     BatchResult,
     SearchResult,
     SearchStats,
+    validate_k,
     validate_queries,
     validate_query,
 )
@@ -312,8 +313,7 @@ class ShardedIndex:
 
     def search(self, query: np.ndarray, k: int = 1, **kwargs) -> SearchResult:
         """Top-k over all shards (each shard clamps ``k`` to its own size)."""
-        if k <= 0:
-            raise ValueError(f"k must be positive, got {k}")
+        k = validate_k(k)
         query = validate_query(query, self.dim)
         k = min(k, self.n_live)
         results = [shard.search(query, k=k, **kwargs) for shard in self.shards]
@@ -339,8 +339,7 @@ class ShardedIndex:
             n_threads: fan-out width override for this call.
             **kwargs: forwarded to every shard (e.g. ProMIPS ``c=0.8``).
         """
-        if k <= 0:
-            raise ValueError(f"k must be positive, got {k}")
+        k = validate_k(k)
         queries = validate_queries(queries, self.dim)
         if queries.shape[0] == 0:
             return BatchResult.empty()

@@ -22,12 +22,12 @@ from typing import Callable
 
 import numpy as np
 
-from repro.api import MIPSIndex
+from repro.api import MIPSIndex, validate_k
 from repro.core.batch import has_native_batch, search_many
 from repro.core.promips import ProMIPSParams
 from repro.data.datasets import Dataset
 from repro.eval.ground_truth import GroundTruth
-from repro.eval.metrics import overall_ratio, recall
+from repro.eval.metrics import latency_summary, overall_ratio, recall
 from repro.spec import IndexSpec, build_index
 
 __all__ = [
@@ -253,8 +253,7 @@ def run_method(
             natively vectorized methods; only the CPU column changes, which
             is exactly the quantity batching is meant to improve.
     """
-    if k <= 0:
-        raise ValueError(f"k must be positive, got {k}")
+    k = validate_k(k)
     search_kwargs = search_kwargs or {}
     ratios: list[float] = []
     recalls: list[float] = []
@@ -309,6 +308,10 @@ class ThroughputReport:
             opposed to the generic loop fallback).
         shard_seconds: per-shard wall-clock seconds of the final timed batch
             (sharded indexes only; ``None`` for single-index methods).
+        latency_p50_ms / latency_p95_ms / latency_p99_ms: per-query latency
+            percentiles of the best looped run, through the same
+            :func:`repro.eval.metrics.percentile` rule the serving telemetry
+            reports, so harness and ``/stats`` numbers are comparable.
     """
 
     method: str
@@ -320,6 +323,9 @@ class ThroughputReport:
     speedup: float
     native_batch: bool
     shard_seconds: list[float] | None = None
+    latency_p50_ms: float = 0.0
+    latency_p95_ms: float = 0.0
+    latency_p99_ms: float = 0.0
 
 
 def measure_throughput(
@@ -345,11 +351,18 @@ def measure_throughput(
 
     index.search(queries[0], k=k, **search_kwargs)
     loop_best = np.inf
+    best_latencies: list[float] = []
     for _ in range(repeats):
+        latencies = []
         start = time.perf_counter()
         for query in queries:
+            q_start = time.perf_counter()
             index.search(query, k=k, **search_kwargs)
-        loop_best = min(loop_best, time.perf_counter() - start)
+            latencies.append(time.perf_counter() - q_start)
+        elapsed = time.perf_counter() - start
+        if elapsed < loop_best:
+            loop_best = elapsed
+            best_latencies = latencies
 
     search_many(index, queries, k=k, **search_kwargs)
     batch_best = np.inf
@@ -361,6 +374,7 @@ def measure_throughput(
     loop_qps = n_queries / loop_best if loop_best > 0 else float("inf")
     batch_qps = n_queries / batch_best if batch_best > 0 else float("inf")
     shard_seconds = getattr(index, "last_shard_seconds", None)
+    latency = latency_summary(best_latencies)
     return ThroughputReport(
         method=method,
         dataset=dataset,
@@ -371,4 +385,7 @@ def measure_throughput(
         speedup=batch_qps / loop_qps if loop_qps > 0 else float("inf"),
         native_batch=has_native_batch(index),
         shard_seconds=list(shard_seconds) if shard_seconds is not None else None,
+        latency_p50_ms=latency["p50_ms"],
+        latency_p95_ms=latency["p95_ms"],
+        latency_p99_ms=latency["p99_ms"],
     )

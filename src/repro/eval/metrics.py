@@ -8,13 +8,29 @@
 Both are per-query quantities in ``[0, 1]``-ish (the ratio can exceed 1 only
 through ties/numerical noise and is clipped); the harness averages them over
 the query workload exactly as the paper's figures do.
+
+The module also owns the shared **percentile helpers** (:func:`percentile`,
+:func:`p50`/:func:`p95`/:func:`p99`, :func:`latency_summary`) that the
+serving telemetry, the throughput harness and the batch statistics all report
+through, so "p95" means the same linear-interpolation quantile everywhere.
 """
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
-__all__ = ["overall_ratio", "recall", "guarantee_success"]
+__all__ = [
+    "overall_ratio",
+    "recall",
+    "guarantee_success",
+    "percentile",
+    "p50",
+    "p95",
+    "p99",
+    "latency_summary",
+]
 
 
 def overall_ratio(returned_scores: np.ndarray, exact_scores: np.ndarray) -> float:
@@ -75,3 +91,60 @@ def guarantee_success(
     matched = exact[: returned.size]
     ok = returned >= c * matched - 1e-9 * np.abs(matched)
     return float(np.sum(ok)) / exact.size
+
+
+def percentile(values, q: float) -> float:
+    """The ``q``-th percentile of ``values`` by linear interpolation.
+
+    Deliberately a tiny pure implementation (sort + interpolate between the
+    two straddling order statistics) so the telemetry hot path never builds
+    an array, but numerically identical to ``numpy.percentile``'s default
+    ``"linear"`` method — the unit tests pin that equivalence down.
+
+    Args:
+        values: a non-empty sequence of numbers.
+        q: percentile rank in ``[0, 100]``.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile rank must be in [0, 100], got {q}")
+    data = sorted(float(v) for v in values)
+    if not data:
+        raise ValueError("percentile of an empty sequence")
+    rank = (len(data) - 1) * (q / 100.0)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    return data[lo] + (data[hi] - data[lo]) * (rank - lo)
+
+
+def p50(values) -> float:
+    """Median by the shared :func:`percentile` rule."""
+    return percentile(values, 50.0)
+
+
+def p95(values) -> float:
+    """95th percentile by the shared :func:`percentile` rule."""
+    return percentile(values, 95.0)
+
+
+def p99(values) -> float:
+    """99th percentile by the shared :func:`percentile` rule."""
+    return percentile(values, 99.0)
+
+
+def latency_summary(seconds) -> dict:
+    """p50/p95/p99 of a latency sample, in milliseconds.
+
+    The shared shape every latency reporter uses (serving telemetry ``/stats``,
+    the throughput harness, the serving-latency bench), so numbers line up
+    across reports.  An empty sample summarises to zeros rather than raising —
+    a freshly started server has served nothing yet.
+    """
+    data = [float(v) for v in seconds]
+    if not data:
+        return {"count": 0, "p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0}
+    return {
+        "count": len(data),
+        "p50_ms": p50(data) * 1e3,
+        "p95_ms": p95(data) * 1e3,
+        "p99_ms": p99(data) * 1e3,
+    }

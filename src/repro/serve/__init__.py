@@ -1,0 +1,22 @@
+"""Online serving runtime: HTTP front-end, micro-batching, caching, telemetry.
+
+The network face of the repository: :class:`ServingRuntime` stacks a
+generation-aware result cache and a micro-batching coalescer on top of any
+registered index, and :func:`make_server` exposes it as a stdlib-only JSON
+HTTP API (``repro serve`` on the command line).  See
+:mod:`repro.serve.server` for the endpoint contract.
+"""
+
+from repro.serve.cache import ResultCache
+from repro.serve.microbatch import MicroBatcher
+from repro.serve.server import ServingRuntime, build_runtime, make_server
+from repro.serve.telemetry import Telemetry
+
+__all__ = [
+    "ResultCache",
+    "MicroBatcher",
+    "ServingRuntime",
+    "Telemetry",
+    "build_runtime",
+    "make_server",
+]

@@ -1,0 +1,160 @@
+"""Generation-aware LRU cache for served top-k results.
+
+Real MIPS query streams are heavily repeated — the LEMP line of work
+(Abuzaid et al.) attributes most exact/approximate serving cost to re-doing
+identical per-query work — so the serving runtime answers a repeated
+``(query, k)`` from memory instead of re-running the scan.
+
+Two design points matter:
+
+* **Keys are the exact query bytes.**  An entry is keyed on
+  ``(query.tobytes(), k, sorted kwargs)`` — the float64 byte string, not a
+  lossy hash of it — so two queries collide only when they are bit-identical,
+  and a cache hit is *guaranteed* to be the same answer the index would
+  produce.  (Python hashes the bytes internally for the dict lookup; storing
+  the bytes alongside is what removes the collision risk a bare
+  ``query_bytes_hash`` key would carry.)
+* **Invalidation is one integer bump.**  Every entry records the cache
+  *generation* at insertion time; ``insert``/``delete`` on a mutable index
+  bumps the runtime's generation counter, and any entry from an older
+  generation is treated as a miss (and dropped lazily on touch).  That makes
+  invalidation O(1) per mutation — no scan over the table — while
+  guaranteeing a stale result is never served.
+
+The cache stores plain ``(ids, scores)`` arrays, not whole
+:class:`repro.api.SearchResult` objects: per-query stats describe the work a
+search *did*, which for a cache hit is none.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """Thread-safe LRU map ``(query bytes, k, kwargs) → (ids, scores)``.
+
+    Args:
+        capacity: maximum number of entries; ``0`` disables the cache
+            (every lookup misses, nothing is stored).
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = int(capacity)
+        self._lock = threading.Lock()
+        # key -> (generation, ids, scores); move_to_end maintains recency.
+        self._entries: OrderedDict[tuple, tuple[int, np.ndarray, np.ndarray]] = (
+            OrderedDict()
+        )
+        self._generation = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+        self.stale_puts = 0
+
+    # ---------------------------------------------------------------- keying
+
+    @staticmethod
+    def make_key(query: np.ndarray, k: int, kwargs: dict | None = None) -> tuple:
+        """The cache key of one request: exact bytes + k + sorted kwargs."""
+        query = np.ascontiguousarray(query, dtype=np.float64)
+        extra = tuple(sorted((kwargs or {}).items()))
+        return (query.tobytes(), int(k), extra)
+
+    # --------------------------------------------------------------- queries
+
+    @property
+    def generation(self) -> int:
+        with self._lock:
+            return self._generation
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: tuple) -> tuple[np.ndarray, np.ndarray] | None:
+        """The cached ``(ids, scores)`` for ``key``, or ``None`` on a miss.
+
+        A hit refreshes the entry's LRU position.  An entry written before
+        the last :meth:`bump_generation` counts as a miss, is dropped, and
+        is tallied under ``invalidations`` — the stale answer is never
+        returned.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            generation, ids, scores = entry
+            if generation != self._generation:
+                del self._entries[key]
+                self.invalidations += 1
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return ids, scores
+
+    def put(
+        self,
+        key: tuple,
+        ids: np.ndarray,
+        scores: np.ndarray,
+        generation: int | None = None,
+    ) -> None:
+        """Store an answer; evict LRU overflow.
+
+        Args:
+            generation: the generation the caller observed *before* computing
+                the answer.  If a mutation bumped the counter in the window
+                between compute and store, the write is dropped (tallied
+                under ``stale_puts``) — otherwise a pre-mutation answer would
+                be stamped with the post-mutation generation and served as
+                fresh forever.  ``None`` stamps the current generation
+                (only safe when the caller cannot race mutations).
+        """
+        if self.capacity == 0:
+            return
+        ids = np.array(ids, dtype=np.int64, copy=True)
+        scores = np.array(scores, dtype=np.float64, copy=True)
+        with self._lock:
+            if generation is not None and generation != self._generation:
+                self.stale_puts += 1
+                return
+            self._entries[key] = (self._generation, ids, scores)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def bump_generation(self) -> int:
+        """Invalidate every current entry in O(1); returns the new generation.
+
+        Entries are not scanned or freed here — they die lazily the next
+        time they are touched (or fall off the LRU end).
+        """
+        with self._lock:
+            self._generation += 1
+            return self._generation
+
+    def stats(self) -> dict:
+        """JSON-ready counters for the telemetry snapshot."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "entries": len(self._entries),
+                "generation": self._generation,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+                "stale_puts": self.stale_puts,
+            }

@@ -1,0 +1,208 @@
+"""Micro-batching coalescer: N concurrent searches, one GEMM.
+
+An online front-end receives *single* queries from many concurrent clients,
+but every index in this repository answers a *batch* far faster than the
+same queries looped — the whole point of the vectorized ``search_many``
+paths (one GEMM panel instead of N GEMVs, one axis-wise top-k instead of N).
+Quantization-serving systems (Guo et al.) assume exactly such a batched
+online front-end.  The :class:`MicroBatcher` closes that gap: concurrent
+``search`` calls park in a queue, a single dispatcher thread drains up to
+``max_batch`` of them every tick (a tick ends when the batch is full or the
+oldest request has waited ``max_wait_ms``), answers them with **one**
+``search_many`` call, and delivers each caller its slice through a
+:class:`concurrent.futures.Future`.
+
+Per-request ``k`` is handled by batching at the tick's maximum ``k`` and
+trimming each answer down — exact for exact inner methods (the top-k prefix
+of a top-K list *is* the top-k), and a superset-trim for approximate ones
+(a larger ``k`` can only widen ProMIPS' probe budget).  Requests whose
+search kwargs differ (e.g. a per-request ``c`` override) never share a
+GEMM: the tick groups by kwargs and dispatches one batch per group.
+
+Queries are validated *at submit time*, so a malformed request fails fast
+in its own thread and can never poison the batch it would have joined.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+
+import numpy as np
+
+from repro.api import SearchResult, validate_k, validate_query
+
+__all__ = ["MicroBatcher"]
+
+
+class _Request:
+    __slots__ = ("query", "k", "kwargs", "group", "future")
+
+    def __init__(self, query, k, kwargs):
+        self.query = query
+        self.k = k
+        self.kwargs = kwargs
+        self.group = tuple(sorted(kwargs.items()))
+        self.future: Future = Future()
+
+
+class MicroBatcher:
+    """Coalesce concurrent single-query searches into batched dispatches.
+
+    Args:
+        index: any :class:`repro.api.MIPSIndex`.
+        max_batch: most requests answered by one ``search_many`` call.
+        max_wait_ms: longest a request waits for company before its batch
+            dispatches anyway; ``0`` dispatches whatever is queued
+            immediately (batches then form only under concurrent load).
+        index_lock: optional lock held around every ``search_many`` call —
+            the serving runtime shares one lock between the dispatcher and
+            the mutation endpoints so inserts never interleave a scan.
+        telemetry: optional :class:`repro.serve.telemetry.Telemetry`;
+            receives the occupancy of every dispatched batch.
+    """
+
+    def __init__(
+        self,
+        index,
+        max_batch: int = 32,
+        max_wait_ms: float = 2.0,
+        index_lock: threading.Lock | None = None,
+        telemetry=None,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        self._index = index
+        self.max_batch = int(max_batch)
+        self.max_wait = float(max_wait_ms) / 1e3
+        self._index_lock = index_lock if index_lock is not None else threading.Lock()
+        self._telemetry = telemetry
+        self._cond = threading.Condition()
+        self._pending: list[_Request] = []
+        self._closed = False
+        self._dispatcher = threading.Thread(
+            target=self._run, name="repro-microbatch", daemon=True
+        )
+        self._dispatcher.start()
+
+    # ---------------------------------------------------------------- submit
+
+    def submit(self, query: np.ndarray, k: int = 1, **kwargs) -> Future:
+        """Enqueue one search; returns a future resolving to a
+        :class:`repro.api.SearchResult`.
+
+        Raises:
+            ValueError: malformed query or ``k`` (checked here, in the
+                caller's thread, so bad requests never reach a batch).
+            RuntimeError: the batcher has been closed.
+        """
+        k = validate_k(k)
+        query = validate_query(query, self._index.dim)
+        request = _Request(query, k, kwargs)
+        try:
+            hash(request.group)  # the dispatcher groups by this key
+        except TypeError as exc:
+            raise ValueError(
+                f"search kwargs must be hashable, got {kwargs!r}"
+            ) from exc
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("cannot submit to a closed MicroBatcher")
+            self._pending.append(request)
+            self._cond.notify()
+        return request.future
+
+    def search(self, query: np.ndarray, k: int = 1, **kwargs) -> SearchResult:
+        """Blocking convenience wrapper: ``submit(...).result()``."""
+        return self.submit(query, k=k, **kwargs).result()
+
+    # ------------------------------------------------------------ dispatcher
+
+    def _run(self) -> None:
+        while True:
+            with self._cond:
+                while not self._pending and not self._closed:
+                    self._cond.wait()
+                if not self._pending and self._closed:
+                    return
+                # Batch window: hold the tick open until the batch is full,
+                # the batcher closes, or the oldest request has waited long
+                # enough.  Waiting happens on the condition, so a burst of
+                # submits fills the batch without spinning.
+                deadline = time.monotonic() + self.max_wait
+                while len(self._pending) < self.max_batch and not self._closed:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._cond.wait(timeout=remaining):
+                        break
+                take = self._pending[: self.max_batch]
+                del self._pending[: self.max_batch]
+            try:
+                self._dispatch(take)
+            except BaseException as exc:
+                # The dispatcher must never die: an unexpected failure fails
+                # the affected futures (rather than hanging their callers
+                # forever) and the loop keeps serving.
+                for request in take:
+                    if not request.future.done():
+                        request.future.set_exception(exc)
+
+    def _dispatch(self, requests: list[_Request]) -> None:
+        # One search_many per distinct kwargs group; groups preserve arrival
+        # order, so identical-kwargs ticks (the common case) are one batch.
+        groups: dict[tuple, list[_Request]] = {}
+        for request in requests:
+            groups.setdefault(request.group, []).append(request)
+        for members in groups.values():
+            k_max = max(r.k for r in members)
+            queries = np.stack([r.query for r in members])
+            try:
+                with self._index_lock:
+                    batch = self._index.search_many(
+                        queries, k=k_max, **members[0].kwargs
+                    )
+            except BaseException as exc:  # propagate to every waiter
+                for request in members:
+                    request.future.set_exception(exc)
+                continue
+            if self._telemetry is not None:
+                self._telemetry.record_batch(len(members))
+            for i, request in enumerate(members):
+                row = batch[i]  # strips the padding of under-filled rows
+                result = SearchResult(
+                    ids=row.ids[: request.k],
+                    scores=row.scores[: request.k],
+                    stats=row.stats,
+                )
+                result.stats.extras = {
+                    **result.stats.extras,
+                    "coalesced": len(members),
+                }
+                request.future.set_result(result)
+
+    # ----------------------------------------------------------------- close
+
+    def close(self) -> None:
+        """Stop the dispatcher; in-flight requests finish, queued ones fail.
+
+        Idempotent.  Requests still queued when the dispatcher exits get a
+        ``RuntimeError`` rather than hanging their clients forever.
+        """
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._cond.notify_all()
+        self._dispatcher.join()
+        with self._cond:
+            leftover, self._pending = self._pending, []
+        for request in leftover:
+            request.future.set_exception(RuntimeError("MicroBatcher closed"))
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -12,6 +12,16 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert repro.__version__ in out
+        assert out.startswith("repro ")
+
     def test_compare_defaults(self):
         args = build_parser().parse_args(["compare"])
         assert args.dataset == "netflix"
@@ -168,3 +178,64 @@ class TestBuildQuery:
         rc = main(["query", "--index", str(out), "--query-file", str(qfile)])
         assert rc == 2
         assert "error:" in capsys.readouterr().out
+
+
+class TestServe:
+    """The serve command's argument surface and runtime boot (the serve
+    loop itself is exercised over real HTTP in tests/test_server.py)."""
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["serve", "--spec", "exact()"])
+        assert args.host == "127.0.0.1" and args.port == 8080
+        assert args.max_batch == 32 and args.max_wait_ms == 2.0
+        assert args.cache_size == 1024 and not args.no_coalesce
+
+    def test_requires_exactly_one_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["serve", "--spec", "exact()", "--index", "idx.npz"]
+            )
+
+    def test_boots_runtime_from_spec(self):
+        from repro.cli import _serve_runtime
+
+        args = build_parser().parse_args([
+            "serve", "--spec", "exact()", "--dataset", "netflix",
+            "--n", "300", "--dim", "12", "--cache-size", "8",
+            "--no-coalesce",
+        ])
+        runtime = _serve_runtime(args)
+        with runtime:
+            assert runtime.health()["method"] == "exact"
+            assert runtime.cache.capacity == 8
+            assert runtime.batcher is None
+
+    def test_boots_runtime_from_envelope(self, tmp_path, capsys):
+        from repro.cli import _serve_runtime
+
+        out = tmp_path / "idx.npz"
+        rc = main([
+            "build", "--dataset", "netflix", "--n", "300", "--dim", "12",
+            "--queries", "2", "--spec", "simhash(n_bits=24)", "--out", str(out),
+        ])
+        assert rc == 0
+        args = build_parser().parse_args(["serve", "--index", str(out)])
+        runtime = _serve_runtime(args)
+        with runtime:
+            assert runtime.health()["method"] == "simhash"
+            assert runtime.batcher is not None
+
+    def test_missing_envelope_errors_cleanly(self, tmp_path, capsys):
+        rc = main(["serve", "--index", str(tmp_path / "missing.npz")])
+        assert rc == 2
+        assert "no such index" in capsys.readouterr().out
+
+    def test_bad_spec_errors_cleanly(self, capsys):
+        rc = main([
+            "serve", "--spec", "faiss()", "--dataset", "netflix",
+            "--n", "200", "--dim", "8",
+        ])
+        assert rc == 2
+        assert "unknown method" in capsys.readouterr().out

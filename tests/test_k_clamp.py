@@ -1,11 +1,18 @@
-"""Uniform ``k > n`` clamping across every registered method.
+"""Uniform ``k`` handling across every registered method.
 
-The serving layer treats all methods interchangeably, so an over-asked ``k``
-must behave identically everywhere: clamp to the number of (live) points,
-return that many results from both ``search`` and ``search_many``, never pad
-with sentinel ids, and never raise.  This suite is the shared regression
-guard the sharded merge relies on — a shard is exactly a "1-shard/edge-size
-dataset" from its inner index's point of view.
+The serving layer treats all methods interchangeably, so ``k`` must behave
+identically everywhere.  Two regimes:
+
+* **over-asked** (``k > n``): clamp to the number of (live) points, return
+  that many results from both ``search`` and ``search_many``, never pad
+  with sentinel ids, and never raise.  This is the shared regression guard
+  the sharded merge relies on — a shard is exactly a "1-shard/edge-size
+  dataset" from its inner index's point of view.
+* **invalid** (``k <= 0``, non-integral): raise the *same*
+  ``ValueError`` from every method and both entry points, via the shared
+  :func:`repro.api.validate_k`.  Before that helper, ``k=2.5`` silently
+  truncated in some methods and raised obscure numpy ``TypeError``s in
+  others — exactly the non-uniformity an HTTP front-end cannot paper over.
 """
 
 from __future__ import annotations
@@ -13,7 +20,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.api import BatchResult
+from repro.api import BatchResult, validate_k
 from repro.spec import build_index, registered_methods
 
 # One cheaply-buildable spec per registered method, viable down to n=1.
@@ -92,3 +99,47 @@ def test_sharded_dynamic_clamps_to_live_points():
     batch = index.search_many(data[:2], k=99)
     assert batch.ids.shape == (2, 10)
     assert not np.any(batch.ids == BatchResult.PAD_ID)
+
+
+class TestInvalidK:
+    """k <= 0 and non-integral k raise the same ValueError everywhere."""
+
+    @pytest.fixture(scope="class")
+    def built(self):
+        gen = np.random.default_rng(7)
+        data = gen.standard_normal((24, 16))
+        return {
+            name: build_index(spec, data, rng=5)
+            for name, spec in EDGE_SPECS.items()
+        }, gen.standard_normal((2, 16))
+
+    @pytest.mark.parametrize("bad_k", [0, -1, 2.5, float("nan"), "3", None])
+    @pytest.mark.parametrize("method", sorted(EDGE_SPECS))
+    def test_search_raises_uniformly(self, built, method, bad_k):
+        indexes, queries = built
+        with pytest.raises(ValueError, match="k must be a positive integer"):
+            indexes[method].search(queries[0], k=bad_k)
+
+    @pytest.mark.parametrize("bad_k", [0, -1, 2.5])
+    @pytest.mark.parametrize("method", sorted(EDGE_SPECS))
+    def test_search_many_raises_uniformly(self, built, method, bad_k):
+        indexes, queries = built
+        with pytest.raises(ValueError, match="k must be a positive integer"):
+            indexes[method].search_many(queries, k=bad_k)
+
+    def test_integral_floats_accepted(self, built):
+        # JSON clients deliver 5.0 for 5; every method must treat them alike.
+        indexes, queries = built
+        for method, index in indexes.items():
+            result = index.search(queries[0], k=3.0)
+            assert len(result) == 3, method
+
+    def test_validate_k_normalises(self):
+        assert validate_k(5) == 5
+        assert validate_k(np.int64(5)) == 5
+        assert validate_k(5.0) == 5
+        assert isinstance(validate_k(np.int64(5)), int)
+
+    def test_validate_k_rejects_bool(self):
+        with pytest.raises(ValueError, match="k must be a positive integer"):
+            validate_k(True)

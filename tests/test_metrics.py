@@ -8,7 +8,16 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
-from repro.eval.metrics import guarantee_success, overall_ratio, recall
+from repro.eval.metrics import (
+    guarantee_success,
+    latency_summary,
+    overall_ratio,
+    p50,
+    p95,
+    p99,
+    percentile,
+    recall,
+)
 
 
 class TestOverallRatio:
@@ -89,3 +98,61 @@ class TestGuaranteeSuccess:
     def test_rejects_empty_exact(self):
         with pytest.raises(ValueError):
             guarantee_success(np.array([1.0]), np.array([]), 0.9)
+
+
+class TestPercentile:
+    """The shared helpers must agree exactly with numpy's default method."""
+
+    def test_single_value(self):
+        assert percentile([7.0], 50) == 7.0
+        assert percentile([7.0], 99) == 7.0
+
+    def test_interpolates_between_order_statistics(self):
+        # rank = (4-1) * 0.5 = 1.5 → halfway between the 2nd and 3rd value.
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == pytest.approx(2.5)
+
+    def test_unsorted_input(self):
+        assert percentile([3.0, 1.0, 2.0], 100) == 3.0
+        assert percentile([3.0, 1.0, 2.0], 0) == 1.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_rejects_bad_rank(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+        with pytest.raises(ValueError):
+            percentile([1.0], -1)
+
+    @given(
+        arrays(np.float64, st.integers(1, 40), elements=st.floats(-1e6, 1e6)),
+        st.floats(0, 100),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_matches_numpy_percentile(self, values, q):
+        ours = percentile(values, q)
+        theirs = float(np.percentile(values, q))
+        assert ours == pytest.approx(theirs, rel=1e-12, abs=1e-9)
+
+    def test_named_shortcuts_match_numpy(self):
+        rng = np.random.default_rng(0)
+        sample = rng.exponential(scale=3.0, size=257)
+        assert p50(sample) == pytest.approx(float(np.percentile(sample, 50)))
+        assert p95(sample) == pytest.approx(float(np.percentile(sample, 95)))
+        assert p99(sample) == pytest.approx(float(np.percentile(sample, 99)))
+
+
+class TestLatencySummary:
+    def test_empty_sample_is_zeros(self):
+        assert latency_summary([]) == {
+            "count": 0, "p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0,
+        }
+
+    def test_converts_seconds_to_ms(self):
+        summary = latency_summary([0.001, 0.002, 0.003])
+        assert summary["count"] == 3
+        assert summary["p50_ms"] == pytest.approx(2.0)
+        assert summary["p99_ms"] == pytest.approx(
+            float(np.percentile([1.0, 2.0, 3.0], 99))
+        )
