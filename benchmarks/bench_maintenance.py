@@ -4,14 +4,24 @@
 data will be frequently inserted or deleted in a short time, where the
 heavyweight index requiring more maintenance overhead may cause delays."
 
-The bench streams a churn workload (inserts + deletes) into
-:class:`repro.core.dynamic.DynamicProMIPS` and compares the amortised
-per-update cost against the naive alternative for a heavyweight method:
-rebuilding H2-ALSH's hash tables on every batch.
+Two experiments:
+
+* **churn cost** — stream inserts + deletes into
+  :class:`repro.core.dynamic.DynamicProMIPS` and compare the amortised
+  per-update cost against the naive alternative for a heavyweight method:
+  rebuilding H2-ALSH's hash tables on every batch.
+* **non-blocking rebuild** — the serving-shape claim: with the
+  :class:`repro.core.maintenance.MaintenanceEngine` running a generational
+  rebuild off the request lock, query p99 *during* the rebuild stays within
+  5x steady state, while the stop-the-world alternative (rebuild under the
+  lock) blocks a concurrent query for the whole build.  The swapped-in
+  generation is asserted bit-identical to a fresh bulk build over the same
+  live set.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 
 import numpy as np
@@ -19,11 +29,20 @@ import numpy as np
 from common import emit, get_dataset, single_query_callable
 from repro.baselines.h2alsh import H2ALSH
 from repro.core.dynamic import DynamicProMIPS
+from repro.core.maintenance import MaintenanceEngine
 from repro.core.promips import ProMIPSParams
+from repro.eval.metrics import p50, p99
 from repro.eval.reporting import format_table
 
 N_UPDATES = 400
 BATCH = 100  # the heavyweight baseline rebuilds once per batch
+
+# Non-blocking experiment: enough churn to make a rebuild due, measured
+# against a steady-state latency window.
+CHURN_INSERTS = 600
+CHURN_DELETES = 50
+STEADY_QUERIES = 150
+P99_HEADROOM = 5.0  # the acceptance bound: during-rebuild p99 vs steady
 
 
 def bench_maintenance_churn(benchmark):
@@ -72,5 +91,138 @@ def bench_maintenance_churn(benchmark):
 
     assert promips_per_update < h2_per_update, (
         "the lightweight index must win the churn workload"
+    )
+    benchmark(single_query_callable("netflix", "ProMIPS"))
+
+
+def bench_background_rebuild_nonblocking(benchmark):
+    ds = get_dataset("netflix")
+    base = ds.data[: ds.n // 2]
+    extra = ds.data[ds.n // 2 : ds.n // 2 + CHURN_INSERTS]
+    params = ProMIPSParams(page_size=ds.page_size)
+    queries = ds.queries
+
+    def make(seed: int) -> DynamicProMIPS:
+        index = DynamicProMIPS(
+            base, params, rng=seed, rebuild_threshold=0.05
+        )
+        index.defer_maintenance = True
+        return index
+
+    def churn(index: DynamicProMIPS) -> None:
+        for row in extra:
+            index.insert(row)
+        for pid in range(CHURN_DELETES):
+            index.delete(pid)
+
+    # --- engine-managed index + a twin for the bit-identity reference.
+    index, twin = make(1), make(1)
+    lock = threading.Lock()
+    engine = MaintenanceEngine(index, lock)
+
+    def timed_query(i: int) -> float:
+        q = queries[i % len(queries)]
+        start = time.perf_counter()
+        with lock:
+            index.search(q, k=10)
+        return time.perf_counter() - start
+
+    for i in range(20):  # warm caches / BLAS
+        timed_query(i)
+    steady = [timed_query(i) for i in range(STEADY_QUERIES)]
+
+    churn(index)
+    churn(twin)
+    assert index.maintenance_due() is not None
+
+    # --- background rebuild: snapshot+swap under the lock, build off it.
+    outcome: dict = {}
+
+    def run_rebuild() -> None:
+        try:
+            outcome["report"] = engine.run_once()
+        except BaseException as exc:  # surfaced after join, not lost to stderr
+            outcome["error"] = exc
+
+    worker = threading.Thread(target=run_rebuild)
+    worker.start()
+    during = []
+    i = 0
+    while worker.is_alive():
+        during.append(timed_query(i))
+        i += 1
+    worker.join()
+    assert "error" not in outcome, (
+        f"background rebuild failed: {outcome.get('error')!r}"
+    )
+    assert outcome.get("report") is not None, "the due rebuild must have run"
+    assert index.maintenance_due() is None
+
+    # --- the acceptance criterion: the swapped-in generation answers
+    # bit-identically to a fresh bulk build over the same live set (the
+    # twin consumed the identical rng stream and mutation sequence, so its
+    # synchronous compact() IS that fresh build).
+    twin.compact()
+    batch_bg = index.search_many(queries, k=10)
+    batch_fresh = twin.search_many(queries, k=10)
+    assert np.array_equal(batch_bg.ids, batch_fresh.ids)
+    assert np.array_equal(batch_bg.scores, batch_fresh.scores)
+
+    # --- stop-the-world baseline: the same rebuild under the request lock
+    # blocks a concurrent query for the entire build.
+    baseline = make(2)
+    churn(baseline)
+    blocking_lock = threading.Lock()
+    holding = threading.Event()
+
+    def locked_rebuild() -> None:
+        with blocking_lock:
+            holding.set()
+            baseline.compact()
+
+    blocker = threading.Thread(target=locked_rebuild)
+    blocker.start()
+    holding.wait()
+    start = time.perf_counter()
+    with blocking_lock:
+        baseline.search(queries[0], k=10)
+    blocked_seconds = time.perf_counter() - start
+    blocker.join()
+
+    steady_p99 = p99(steady)
+    if not during:
+        # The rebuild finished before a single concurrent query landed (a
+        # descheduled main thread on a loaded runner): trivially
+        # non-blocking, nothing to bound.
+        during_p99 = 0.0
+    elif len(during) >= 20:
+        during_p99 = p99(during)
+    else:
+        during_p99 = max(during)
+    rows = [
+        ["steady state", len(steady), p50(steady) * 1e3, steady_p99 * 1e3],
+        ["during background rebuild", len(during),
+         (p50(during) * 1e3 if during else 0.0), during_p99 * 1e3],
+        ["blocked by locked rebuild", 1,
+         blocked_seconds * 1e3, blocked_seconds * 1e3],
+    ]
+    table = format_table(
+        ["phase", "queries", "p50_ms", "p99_ms"], rows,
+        title=(f"Query latency vs maintenance — n={len(base)}, "
+               f"+{CHURN_INSERTS} inserts / -{CHURN_DELETES} deletes, "
+               f"rebuild {outcome['report']['seconds'] * 1e3:.0f}ms off-lock"),
+    )
+    emit("maintenance_nonblocking", table)
+
+    # Bounded tail during the rebuild (small absolute floor absorbs timer
+    # noise on sub-ms steady states)...
+    limit = max(P99_HEADROOM * steady_p99, 0.02)
+    assert during_p99 <= limit, (
+        f"p99 during background rebuild {during_p99 * 1e3:.2f}ms exceeds "
+        f"{P99_HEADROOM}x steady state {steady_p99 * 1e3:.2f}ms"
+    )
+    # ...while the stop-the-world path pays the whole build on one query.
+    assert blocked_seconds > during_p99, (
+        "a rebuild under the request lock must visibly stall a query"
     )
     benchmark(single_query_callable("netflix", "ProMIPS"))

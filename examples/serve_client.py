@@ -122,6 +122,34 @@ def main() -> int:
         code, final = call(base, "/search", {"query": query, "k": 5})
         expect(code == 200 and final["ids"] == cold["ids"],
                "post-delete /search matches the original answer")
+
+        # --- churn round-trip: every insert is findable, every delete final
+        churned = []
+        for step in range(10):
+            vec = (np.asarray(query) * (30.0 + step)).tolist()
+            code, added = call(base, "/insert", {"vector": vec})
+            expect(code == 200, f"churn insert #{step} accepted")
+            churned.append(added["id"])
+        code, topk = call(base, "/search", {"query": query, "k": 10})
+        expect(code == 200 and set(churned) <= set(topk["ids"]),
+               "all 10 churned inserts dominate the top-10")
+        for cid in churned:
+            code, _ = call(base, "/delete", {"id": cid})
+            expect(code == 200, f"churn delete of id={cid} accepted")
+        code, after_churn = call(base, "/search", {"query": query, "k": 10})
+        expect(code == 200 and not set(churned) & set(after_churn["ids"]),
+               "no deleted id survives the churn round-trip")
+
+        # --- background maintenance is attached and reporting (enabled is
+        # False only under the explicit --no-maintenance debug flag)
+        code, stats = call(base, "/stats")
+        maint = stats.get("maintenance", {})
+        expect(code == 200 and "enabled" in maint,
+               f"/stats reports maintenance "
+               f"(enabled={maint.get('enabled')}, "
+               f"rebuilds={maint.get('rebuilds')}, "
+               f"reclaimed_bytes={maint.get('reclaimed_bytes')}, "
+               f"in_flight={maint.get('in_flight')})")
     else:
         print(f"  note: served index is immutable ({inserted.get('error')}); "
               "skipping the mutation steps")

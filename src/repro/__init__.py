@@ -12,6 +12,9 @@ Public API:
 * :class:`repro.ServingRuntime` / :func:`repro.make_server` — the online
   serving runtime: micro-batching coalescer + generation-aware result cache
   + latency telemetry behind a stdlib JSON HTTP API (``repro serve``).
+* :class:`repro.MaintenanceEngine` — background generational maintenance
+  for dynamic indexes: compactions build off the request lock and swap in
+  atomically, so rebuilds never stall serving.
 * :class:`repro.SearchResult` / :class:`repro.SearchStats` /
   :class:`repro.BatchResult` — common result types.
 * ``repro.baselines`` — exact scan, H2-ALSH, Norm Ranging-LSH, PQ-based and
@@ -42,6 +45,7 @@ Quickstart:
 from repro.api import BatchResult, MIPSIndex, SearchResult, SearchStats
 from repro.core.batch import BatchStats, search_batch, search_many
 from repro.core.dynamic import DynamicProMIPS
+from repro.core.maintenance import MaintenanceEngine
 from repro.core.persist import inspect_index, load_index, save_index
 from repro.core.promips import ProMIPS, ProMIPSParams
 from repro.core.rng import resolve_rng
@@ -62,7 +66,7 @@ from repro.spec import (
     registered_methods,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "MIPSIndex",
@@ -81,6 +85,7 @@ __all__ = [
     "search_batch",
     "search_many",
     "DynamicProMIPS",
+    "MaintenanceEngine",
     "ShardedIndex",
     "ServingRuntime",
     "MicroBatcher",

@@ -327,6 +327,8 @@ def _serve_runtime(args: argparse.Namespace):
         max_wait_ms=args.max_wait_ms,
         cache_size=args.cache_size,
         coalesce=not args.no_coalesce,
+        maintenance=not args.no_maintenance,
+        maintenance_poll_ms=args.maintenance_poll_ms,
     )
     if args.index is not None:
         path = Path(args.index)
@@ -497,6 +499,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--no-coalesce", action="store_true",
         help="dispatch each request individually (debugging / baseline mode)",
+    )
+    serve.add_argument(
+        "--no-maintenance", action="store_true",
+        help="disable background index maintenance (dynamic indexes then "
+             "compact synchronously inside insert/delete, stalling queries)",
+    )
+    serve.add_argument(
+        "--maintenance-poll-ms", type=float, default=50.0,
+        dest="maintenance_poll_ms",
+        help="idle re-check interval of the background maintenance thread",
     )
     serve.add_argument(
         "--build-seed", type=int, default=1, dest="build_seed",

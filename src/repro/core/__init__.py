@@ -7,6 +7,7 @@ from repro.core.engine import (
     TopK,
     batch_inner_products,
     batch_topk,
+    merge_topk_panels,
     project_batch,
     topk_ids_scores,
 )
@@ -23,6 +24,11 @@ from repro.core.conditions import (
     guarantee_denominator,
 )
 from repro.core.dynamic import DynamicProMIPS
+from repro.core.maintenance import (
+    MaintenanceEngine,
+    RebuildTicket,
+    maintenance_targets,
+)
 from repro.core.optimal_dim import optimized_projection_dim, quickprobe_cost
 from repro.core.persist import inspect_index, load_index, save_index
 from repro.core.projection import StableProjection
@@ -39,9 +45,13 @@ __all__ = [
     "TopK",
     "batch_inner_products",
     "batch_topk",
+    "merge_topk_panels",
     "project_batch",
     "topk_ids_scores",
     "DynamicProMIPS",
+    "MaintenanceEngine",
+    "RebuildTicket",
+    "maintenance_targets",
     "load_index",
     "save_index",
     "inspect_index",

@@ -27,14 +27,16 @@ import math
 
 import numpy as np
 
-from repro.api import validate_k
+from repro.api import BatchResult, validate_k
 
 __all__ = [
     "GEMM_PANEL",
+    "MERGE_SENTINEL",
     "batch_inner_products",
     "project_batch",
     "topk_ids_scores",
     "batch_topk",
+    "merge_topk_panels",
     "TopK",
     "CandidateVerifier",
 ]
@@ -115,6 +117,45 @@ def batch_topk(scores: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
     ids = np.take_along_axis(part, order, axis=1).astype(np.int64)
     out = -np.take_along_axis(neg_part, order, axis=1)
     return ids, out.astype(np.float64)
+
+
+# Dead/padded candidate slots carry this id so they sort after every real
+# candidate under the (-score, id) order; merge_topk_panels re-masks any
+# that survive the cut back to BatchResult.PAD_ID.
+MERGE_SENTINEL = np.iinfo(np.int64).max
+
+
+def merge_topk_panels(
+    id_blocks: list[np.ndarray],
+    score_blocks: list[np.ndarray],
+    k: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Row-wise top-k across concatenated ``(n_q, k_i)`` candidate panels.
+
+    The composite indexes (sharded cross-shard merge, dynamic
+    indexed+delta merge) each gather several per-source candidate panels
+    per query and need the best ``k`` of their union in the engine's
+    ``(-score, id)`` total order — one axis-wise lexsort over the stacked
+    panels instead of a per-query Python loop.  Dead slots (tombstoned
+    candidates, under-filled approximate answers) must arrive pre-masked as
+    ``(MERGE_SENTINEL, -inf)``; they sort last, and any that survive the
+    cut come back as :data:`repro.api.BatchResult.PAD_ID` / ``-inf``.
+
+    Args:
+        id_blocks: per-source ``(n_q, k_i)`` id panels.
+        score_blocks: matching score panels.
+        k: results per query (``k <= sum(k_i)``).
+
+    Returns:
+        ``(ids, scores)`` arrays of shape ``(n_q, k)``.
+    """
+    id_panel = np.hstack(id_blocks)
+    score_panel = np.hstack(score_blocks)
+    order = np.lexsort((id_panel, -score_panel), axis=-1)[:, :k]
+    top_ids = np.take_along_axis(id_panel, order, axis=-1)
+    top_scores = np.take_along_axis(score_panel, order, axis=-1)
+    top_ids[top_ids == MERGE_SENTINEL] = BatchResult.PAD_ID
+    return top_ids, top_scores
 
 
 class TopK:

@@ -52,6 +52,7 @@ from repro.api import (
     validate_queries,
     validate_query,
 )
+from repro.core.engine import MERGE_SENTINEL, merge_topk_panels
 from repro.core.persist import pack_substate, unpack_substate
 from repro.core.rng import resolve_rng
 from repro.spec import IndexSpec, build_index, register_method
@@ -382,8 +383,8 @@ class ShardedIndex:
         serial stage left after the fan-out.
         """
         # Padded slots (an approximate shard can come up short of k) sort
-        # last under (score=-inf, gid=max) and are re-masked after the cut.
-        sentinel = np.iinfo(np.int64).max
+        # last under (score=-inf, gid=sentinel) and are re-masked after the
+        # cut by the shared engine merge.
         gid_blocks: list[np.ndarray] = []
         score_blocks: list[np.ndarray] = []
         for s, batch in enumerate(shard_batches):
@@ -391,15 +392,10 @@ class ShardedIndex:
             local = batch.ids
             pad = local == BatchResult.PAD_ID
             gids = members[np.where(pad, 0, local)]
-            gids[pad] = sentinel
+            gids[pad] = MERGE_SENTINEL
             gid_blocks.append(gids)
             score_blocks.append(np.where(pad, -np.inf, batch.scores))
-        gid_panel = np.hstack(gid_blocks)
-        score_panel = np.hstack(score_blocks)
-        order = np.lexsort((gid_panel, -score_panel), axis=-1)[:, :k]
-        top_gids = np.take_along_axis(gid_panel, order, axis=-1)
-        top_scores = np.take_along_axis(score_panel, order, axis=-1)
-        top_gids[top_gids == sentinel] = BatchResult.PAD_ID
+        top_gids, top_scores = merge_topk_panels(gid_blocks, score_blocks, k)
 
         stats = []
         per_shard_stats = [batch.stats for batch in shard_batches]
@@ -461,6 +457,21 @@ class ShardedIndex:
         buf[count] = gid
         self._member_counts[target] = count + 1
         return gid
+
+    def maintenance_targets(self) -> list[tuple[str, object]]:
+        """Per-shard rebuild hooks for :class:`repro.core.maintenance.
+        MaintenanceEngine` (non-empty only for dynamic inners).
+
+        The engine checks targets round-robin and rebuilds one at a time,
+        so at most one shard pays build cost at any moment — the remaining
+        shards keep answering at full speed and the cross-shard merge never
+        sees a half-swapped shard (swaps happen under the serving lock).
+        """
+        return [
+            (f"shard{s}", shard)
+            for s, shard in enumerate(self.shards)
+            if hasattr(shard, "begin_rebuild")
+        ]
 
     def delete(self, global_id: int) -> None:
         """Delete a point by global id, routed to the owning shard.

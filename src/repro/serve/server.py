@@ -32,6 +32,16 @@ Index access is serialised by one runtime lock (held by the coalescer's
 dispatch and by mutations), so Python-level index state never tears; the
 concurrency win comes from coalescing — the batched GEMM itself already
 spreads over cores inside BLAS.
+
+Maintenance never runs on the request path: for a dynamic (or
+sharded-dynamic) index the runtime attaches a
+:class:`repro.core.maintenance.MaintenanceEngine` that rebuilds generations
+on a background thread — snapshot and swap each hold the runtime lock
+briefly, the bulk load itself runs off-lock, and mutations that land during
+a build are replayed into the new generation at swap time.  Every swap bumps
+the result-cache generation (a new generation may rank differently), and
+``GET /stats`` reports the engine's counters (rebuilds, reclaimed bytes,
+in-flight target).
 """
 
 from __future__ import annotations
@@ -45,6 +55,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.api import validate_k, validate_queries, validate_query
+from repro.core.maintenance import MaintenanceEngine, maintenance_targets
 from repro.core.persist import load_index
 from repro.serve.cache import ResultCache
 from repro.serve.microbatch import MicroBatcher
@@ -66,6 +77,11 @@ class ServingRuntime:
             dispatches each request's own ``search`` call (the bench's
             baseline mode).
         telemetry_window: latency samples retained for percentiles.
+        maintenance: attach a background :class:`MaintenanceEngine` when the
+            index has rebuildable components; ``False`` keeps the index's
+            own synchronous (stop-the-world) compaction inside the mutation
+            endpoints.
+        maintenance_poll_ms: idle re-check interval of the engine thread.
     """
 
     def __init__(
@@ -76,22 +92,45 @@ class ServingRuntime:
         cache_size: int = 1024,
         coalesce: bool = True,
         telemetry_window: int = DEFAULT_WINDOW,
+        maintenance: bool = True,
+        maintenance_poll_ms: float = 50.0,
     ) -> None:
         self.index = index
         self.telemetry = Telemetry(window=telemetry_window)
         self.cache = ResultCache(cache_size)
         self._index_lock = threading.Lock()
-        self.batcher = (
-            MicroBatcher(
+        self.maintenance = (
+            MaintenanceEngine(
                 index,
-                max_batch=max_batch,
-                max_wait_ms=max_wait_ms,
-                index_lock=self._index_lock,
-                telemetry=self.telemetry,
+                self._index_lock,
+                poll_interval_ms=maintenance_poll_ms,
+                on_swap=self.cache.bump_generation,
             )
-            if coalesce
+            if maintenance and maintenance_targets(index)
             else None
         )
+        try:
+            self.batcher = (
+                MicroBatcher(
+                    index,
+                    max_batch=max_batch,
+                    max_wait_ms=max_wait_ms,
+                    index_lock=self._index_lock,
+                    telemetry=self.telemetry,
+                )
+                if coalesce
+                else None
+            )
+        except BaseException:
+            # A half-built runtime has no owner to close() it: release the
+            # engine's claim on the index before the constructor raises.
+            if self.maintenance is not None:
+                self.maintenance.close()
+            raise
+        # Threads start only once the whole stack is wired, so a
+        # constructor failure can never leak a live background rebuilder.
+        if self.maintenance is not None:
+            self.maintenance.start()
 
     # ---------------------------------------------------------------- search
 
@@ -202,15 +241,26 @@ class ServingRuntime:
         live = getattr(self.index, "n_live", None)
         info["n_live"] = int(live if live is not None else getattr(self.index, "n", 0))
         info["coalescing"] = self.batcher is not None
+        info["maintenance"] = self.maintenance is not None
         return info
 
     def stats(self) -> dict:
+        maintenance = (
+            self.maintenance.stats()
+            if self.maintenance is not None
+            else {"enabled": False}
+        )
         return {
             "index": self.health(),
-            **self.telemetry.snapshot(cache_stats=self.cache.stats()),
+            **self.telemetry.snapshot(
+                cache_stats=self.cache.stats(), maintenance_stats=maintenance
+            ),
         }
 
     def close(self) -> None:
+        # Stop maintenance first so no swap races the draining coalescer.
+        if self.maintenance is not None:
+            self.maintenance.close()
         if self.batcher is not None:
             self.batcher.close()
 

@@ -85,13 +85,20 @@ class Telemetry:
         with self._lock:
             return sum(self._requests.values())
 
-    def snapshot(self, cache_stats: dict | None = None) -> dict:
+    def snapshot(
+        self,
+        cache_stats: dict | None = None,
+        maintenance_stats: dict | None = None,
+    ) -> dict:
         """One JSON-ready view of everything recorded so far.
 
         Args:
             cache_stats: the result cache's own counters (hits/misses/...),
                 merged in so ``/stats`` is a single document; hit rate is
                 derived here.
+            maintenance_stats: the background maintenance engine's counters
+                (rebuilds, reclaimed bytes, in-flight target), merged in
+                under ``"maintenance"``.
         """
         with self._lock:
             requests = dict(self._requests)
@@ -121,4 +128,6 @@ class Telemetry:
                 **cache_stats,
                 "hit_rate": (cache_stats.get("hits", 0) / lookups) if lookups else 0.0,
             }
+        if maintenance_stats is not None:
+            stats["maintenance"] = dict(maintenance_stats)
         return stats

@@ -154,13 +154,23 @@ class TestFallbackParity:
         assert not has_native_batch(index)
         assert_batch_matches_loop(index, queries[:4], k=5)
 
-    def test_dynamic_fallback(self, workload):
+    def test_dynamic_is_native_and_bit_identical(self, workload):
+        # Dynamic grew a native batch path (one-GEMM delta scan + vectorized
+        # tombstone-masked merge); parity must survive every mutable state:
+        # delta-only, tombstones-only, and both at once.
         data, queries = workload
         index = DynamicProMIPS(
             data[:500], ProMIPSParams(m=5, kp=3, n_key=10, ksp=4), rng=1
         )
+        assert has_native_batch(index)
         index.insert(data[900])
         assert_batch_matches_loop(index, queries[:3], k=5)
+        index.delete(7)
+        index.delete(300)
+        assert_batch_matches_loop(index, queries[:3], k=5)
+        for row in data[901:905]:
+            index.insert(row)
+        assert_batch_matches_loop(index, queries[:4], k=6)
 
     def test_threaded_fanout_matches_sequential(self, workload):
         data, queries = workload

@@ -148,6 +148,247 @@ class TestLifecycle:
         assert index.index_size_bytes() > before
 
 
+class TestCompaction:
+    """Compaction clears tombstones, reclaims storage, and restores the
+    candidate budget — the three regressions of the old ``_rebuild``."""
+
+    def test_compaction_clears_tombstones_and_overfetch(self, latent_small):
+        data, _ = latent_small
+        index = DynamicProMIPS(data[:300], PARAMS, rng=1)
+        q = data[2]
+        baseline = index.search(q, k=10).stats
+
+        # Tombstones inflate the index over-fetch (k + #tombstones)...
+        for i in range(70):  # just under the 0.25 * 300 trigger
+            index.delete(i)
+        assert index.rebuilds == 0 and index.tombstone_count == 70
+        inflated = index.search(q, k=10).stats
+        assert inflated.candidates > baseline.candidates
+
+        # ...until the ratio trips the compaction, which must clear them.
+        for i in range(70, 76):  # 76 > 0.25 * 300
+            index.delete(i)
+        assert index.rebuilds == 1
+        assert index.tombstone_count == 0
+        assert index.delta_size == 0
+        assert index.n_live == 224
+        compacted = index.search(q, k=10).stats
+        # The permanent over-fetch regression: candidates must come back
+        # down once the tombstones are compacted out.
+        assert compacted.candidates < inflated.candidates
+
+    def test_delete_only_workload_triggers_compaction(self, latent_small):
+        # Before the fix only `insert` checked a threshold, so a delete-only
+        # workload degraded unboundedly.
+        data, _ = latent_small
+        index = DynamicProMIPS(data[:200], PARAMS, rng=1)
+        for i in range(60):
+            index.delete(i)
+        assert index.rebuilds >= 1
+        assert index.tombstone_count <= 0.25 * index.indexed_points
+        assert index.reclaimed_bytes > 0
+
+    def test_compact_threshold_configurable_and_spec_round_trips(
+        self, latent_small
+    ):
+        data, _ = latent_small
+        index = DynamicProMIPS(data[:100], PARAMS, rng=1, compact_threshold=0.05)
+        for i in range(6):  # 6 > 0.05 * 100
+            index.delete(i)
+        assert index.rebuilds >= 1
+        spec = index.spec()
+        assert spec.params["compact_threshold"] == 0.05
+        assert spec.params["rebuild_threshold"] == 0.2
+        with pytest.raises(ValueError):
+            DynamicProMIPS(data[:100], PARAMS, compact_threshold=0.0)
+
+    def test_redelete_of_compacted_id_raises(self, latent_small):
+        data, _ = latent_small
+        index = DynamicProMIPS(data[:100], PARAMS, rng=1)
+        index.delete(5)
+        index.compact()
+        assert index.tombstone_count == 0
+        with pytest.raises(KeyError):
+            index.delete(5)
+
+    def test_deleted_delta_row_is_orphaned_then_reclaimed(self, dyn):
+        data, index = dyn
+        new_id = index.insert(data[900])
+        rows_with = index.buffer_rows
+        index.delete(new_id)
+        # The row lingers (orphaned) until a compaction reclaims it.
+        assert index.buffer_rows == rows_with
+        report = index.compact()
+        assert index.buffer_rows == index.n_live
+        assert report["reclaimed_bytes"] > 0
+
+    def test_size_accounting_counts_dead_rows(self, latent_small):
+        data, _ = latent_small
+        index = DynamicProMIPS(data[:200], PARAMS, rng=1)
+        size_fresh = index.index_size_bytes()
+        for i in range(20):
+            index.delete(i)
+        # Tombstoned rows are still held: the structure got *bigger* in
+        # auxiliary terms, which the old accounting missed entirely.
+        inflated = index.index_size_bytes()
+        assert inflated > size_fresh
+        index.compact()
+        # Compaction reclaims the dead rows (a few rows of staged drift
+        # headroom may remain, so compare against the inflated size).
+        assert index.index_size_bytes() < inflated
+        assert index.reclaimed_bytes > 0
+
+    def test_size_accounting_counts_buffer_capacity(self, latent_small):
+        data, _ = latent_small
+        index = DynamicProMIPS(data[:200], PARAMS, rng=1)
+        before = index.index_size_bytes()
+        index.insert(data[500])  # doubles the buffer: 200 -> 400 rows held
+        grown = index.index_size_bytes()
+        # The allocated-but-unused capacity is resident memory and counts.
+        assert grown - before >= 200 * index.dim * 8
+
+    def test_state_round_trips_after_compaction_and_orphans(
+        self, latent_small, tmp_path
+    ):
+        from repro.core.persist import load_index, save_index
+
+        data, queries = latent_small
+        index = DynamicProMIPS(data[:300], PARAMS, rng=1)
+        inserted = [index.insert(v) for v in data[600:608]]
+        index.delete(inserted[2])  # orphaned delta row
+        for i in range(80):  # trips compaction
+            index.delete(i)
+        assert index.rebuilds >= 1
+        index.delete(100)  # a fresh post-compaction tombstone
+        restored = load_index(save_index(index, tmp_path / "dyn"))
+        assert restored.n_live == index.n_live
+        assert restored.tombstone_count == index.tombstone_count
+        assert restored.delta_size == index.delta_size
+        assert restored.reclaimed_bytes == index.reclaimed_bytes
+        for q in queries[:6]:
+            a, b = index.search(q, k=8), restored.search(q, k=8)
+            assert np.array_equal(a.ids, b.ids)
+            assert np.array_equal(a.scores, b.scores)
+        batch_a = index.search_many(queries[:6], k=8)
+        batch_b = restored.search_many(queries[:6], k=8)
+        assert np.array_equal(batch_a.ids, batch_b.ids)
+        assert np.array_equal(batch_a.scores, batch_b.scores)
+
+
+class TestGenerationalRebuild:
+    """The begin/build/commit protocol the maintenance engine drives."""
+
+    def _twin(self, data):
+        index = DynamicProMIPS(data[:300], PARAMS, rng=1)
+        index.defer_maintenance = True
+        return index
+
+    def test_swap_is_bit_identical_to_foreground_compaction(self, latent_small):
+        # A committed background generation must equal a fresh bulk build
+        # over the same live set: the twin runs the same mutations and a
+        # synchronous compact() — identical rng consumption, identical data.
+        data, queries = latent_small
+        a, b = self._twin(data), self._twin(data)
+        for index in (a, b):
+            for row in data[500:540]:
+                index.insert(row)
+            index.delete(3)
+            index.delete(310)  # a delta point
+
+        ticket = a.begin_rebuild()
+        built = a.build_generation(ticket)
+        a.commit_rebuild(ticket, built)
+        b.compact()
+
+        for q in queries:
+            ra, rb = a.search(q, k=10), b.search(q, k=10)
+            assert np.array_equal(ra.ids, rb.ids)
+            assert np.array_equal(ra.scores, rb.scores)
+        batch_a = a.search_many(queries, k=10)
+        batch_b = b.search_many(queries, k=10)
+        assert np.array_equal(batch_a.ids, batch_b.ids)
+        assert np.array_equal(batch_a.scores, batch_b.scores)
+
+    def test_mutations_during_build_are_replayed(self, latent_small):
+        data, _ = latent_small
+        index = self._twin(data)
+        pre_insert = index.insert(data[500] * 3.0)
+
+        ticket = index.begin_rebuild()
+        built = index.build_generation(ticket)
+        # Drift lands between build and commit:
+        mid_insert = index.insert(data[501] * 5.0)
+        index.delete(7)           # snapshotted -> replays as a tombstone
+        index.delete(pre_insert)  # snapshotted delta point -> also dead
+        report = index.commit_rebuild(ticket, built)
+
+        assert report["replayed_inserts"] == 1
+        assert report["replayed_deletes"] == 2
+        assert index.delta_size == 1
+        assert index.tombstone_count == 2  # both dead ids are in the new index
+        assert index.n_live == 300  # 300 + 2 inserts - 2 deletes
+        result = index.search(data[501], k=5)
+        assert result.ids[0] == mid_insert
+        ids = index.search(data[7], k=20).ids.tolist()
+        assert 7 not in ids and pre_insert not in ids
+
+    def test_drift_beyond_staged_headroom_falls_back(self, latent_small):
+        # build_generation stages the commit buffer with bounded spare
+        # capacity; more drift than that must still commit correctly via
+        # the allocation fallback.
+        data, _ = latent_small
+        index = self._twin(data)
+        ticket = index.begin_rebuild()
+        built = index.build_generation(ticket)
+        assert ticket.prepared["buffer"].shape[0] < 300 + 30
+        for row in data[500:529]:
+            index.insert(row)
+        spike = index.insert(data[529] * 5.0)
+        report = index.commit_rebuild(ticket, built)
+        assert report["replayed_inserts"] == 30
+        assert index.n_live == 330 and index.buffer_rows == 330
+        assert index.search(data[529], k=1).ids[0] == spike
+
+    def test_insert_then_delete_during_build_vanishes(self, latent_small):
+        data, _ = latent_small
+        index = self._twin(data)
+        ticket = index.begin_rebuild()
+        built = index.build_generation(ticket)
+        ephemeral = index.insert(data[500])
+        index.delete(ephemeral)
+        report = index.commit_rebuild(ticket, built)
+        assert report["replayed_inserts"] == 0
+        assert report["replayed_deletes"] == 0
+        assert index.delta_size == 0 and index.tombstone_count == 0
+        with pytest.raises(KeyError):
+            index.delete(ephemeral)
+
+    def test_begin_rebuild_is_exclusive(self, latent_small):
+        data, _ = latent_small
+        index = self._twin(data)
+        ticket = index.begin_rebuild()
+        with pytest.raises(RuntimeError):
+            index.begin_rebuild()
+        index.abort_rebuild(ticket)
+        index.compact()  # usable again after an abort
+        assert index.rebuilds == 1
+
+    def test_defer_maintenance_suppresses_synchronous_compaction(
+        self, latent_small
+    ):
+        data, _ = latent_small
+        index = DynamicProMIPS(
+            data[:100], PARAMS, rng=1, rebuild_threshold=0.05
+        )
+        index.defer_maintenance = True
+        for row in data[100:120]:
+            index.insert(row)
+        assert index.rebuilds == 0
+        assert index.maintenance_due() == "delta"
+        index.compact()
+        assert index.rebuilds == 1 and index.maintenance_due() is None
+
+
 class TestDeleteLastPoint:
     def test_delete_validates_before_mutating(self, latent_small):
         """Deleting the last live point must raise *without* tombstoning it,

@@ -185,6 +185,66 @@ class TestProbeBudgetMonotonicity:
         assert recalls[-1] >= recalls[0]
 
 
+class TestDynamicMutationSoundness:
+    """Interleaved insert/delete soundness for the mutable index: after any
+    operation sequence, results only ever contain live ids, every returned
+    score is the true inner product of the id it is attached to, and the
+    compaction triggers keep both pressure sources (delta size, tombstone
+    count) bounded — the degradation a delete-only workload used to
+    accumulate forever."""
+
+    SPEC = (
+        "dynamic(c=0.85, m=4, kp=2, n_key=6, ksp=3, "
+        "rebuild_threshold=0.2, compact_threshold=0.25)"
+    )
+
+    @given(
+        ops=st.lists(st.integers(0, 99), min_size=1, max_size=40),
+        seed=st.integers(0, 4),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_interleaved_mutations_stay_sound(self, ops, seed):
+        gen = np.random.default_rng(seed)
+        dim = 8
+        data = gen.standard_normal((30, dim))
+        index = build_index(self.SPEC, data, rng=3)
+        live = {i: data[i] for i in range(30)}
+        vec_gen = np.random.default_rng(seed + 1000)
+        query = gen.standard_normal(dim)
+
+        for op in ops:
+            if op % 3 == 0 and len(live) > 1:
+                victim = sorted(live)[op % len(live)]
+                index.delete(victim)
+                del live[victim]
+            else:
+                vec = vec_gen.standard_normal(dim)
+                live[index.insert(vec)] = vec
+            assert index.n_live == len(live)
+
+            result = index.search(query, k=5)
+            returned = result.ids.tolist()
+            assert len(returned) == min(5, len(live))
+            assert set(returned) <= set(live)
+            for pid, score in zip(returned, result.scores.tolist()):
+                assert score == pytest.approx(
+                    float(live[pid] @ query), rel=1e-9, abs=1e-9
+                )
+            # Bounded degradation: each mutation re-checks the thresholds,
+            # so neither pressure source can exceed its ratio for long.
+            base = index.indexed_points
+            assert index.delta_size <= 0.2 * base + 1
+            assert index.tombstone_count <= 0.25 * base + 1
+
+        # The batch path agrees bit-for-bit in whatever state we ended in.
+        queries = np.vstack([query, gen.standard_normal(dim)])
+        batch = index.search_many(queries, k=5)
+        for i, q in enumerate(queries):
+            single = index.search(q, k=5)
+            assert np.array_equal(batch[i].ids, single.ids)
+            assert np.array_equal(batch[i].scores, single.scores)
+
+
 class TestDuplicateTies:
     """Duplicate data vectors score identically and rank by ascending id."""
 

@@ -152,6 +152,48 @@ class TestUniversalRoundtrip:
         with pytest.raises(KeyError):
             restored.delete(3)
 
+    def test_dynamic_legacy_pre15_state_loads(self, workload):
+        # 1.4 dynamic envelopes stored every vector positionally by external
+        # id, had no row_external/next_id/reclaimed_bytes keys, and listed
+        # deleted *delta* points in the tombstone set.  from_state must keep
+        # accepting that layout (the envelope format version is unchanged).
+        from repro.core.dynamic import DynamicProMIPS
+
+        data, queries = workload
+        index = build_index(METHOD_SPECS["dynamic"], data, rng=5)
+        gen = np.random.default_rng(0)
+        inserted = [index.insert(v) for v in gen.standard_normal((4, data.shape[1]))]
+        index.delete(3)
+        state = index.state()  # still positional: no compaction/orphans yet
+        legacy = {
+            k: v
+            for k, v in state.items()
+            if k not in ("row_external", "next_id", "reclaimed_bytes")
+        }
+        # Emulate a 1.4-style deleted delta point: tombstoned, out of delta,
+        # its vector still stored positionally.
+        legacy["tombstones"] = np.sort(
+            np.append(state["tombstones"], inserted[1])
+        ).astype(np.int64)
+        legacy["delta_ids"] = np.array(
+            [e for e in state["delta_ids"].tolist() if e != inserted[1]],
+            dtype=np.int64,
+        )
+        restored = DynamicProMIPS.from_state(index.spec(), legacy)
+
+        index.delete(inserted[1])  # the same mutation, current semantics
+        assert restored.n_live == index.n_live
+        assert restored.delta_size == index.delta_size
+        assert restored.tombstone_count == index.tombstone_count
+        assert restored._next_id == index._next_id
+        for q in queries:
+            a, b = index.search(q, k=8), restored.search(q, k=8)
+            assert np.array_equal(a.ids, b.ids)
+            assert np.array_equal(a.scores, b.scores)
+        assert inserted[1] not in restored.search(queries[0], k=50).ids
+        with pytest.raises(KeyError):
+            restored.delete(inserted[1])
+
     def test_inspect_index_envelope(self, workload, tmp_path):
         data, _ = workload
         index = build_index("exact(page_size=2048)", data)

@@ -229,6 +229,125 @@ class TestMutationEndpoints:
         assert served["ids"] == [inserted["id"]]
 
 
+class TestBackgroundMaintenance:
+    """Serving + the background maintenance engine: rebuilds happen off the
+    request path, deleted ids never resurface, and /stats reports them."""
+
+    MAINT_SPEC = (
+        "dynamic(c=0.85, m=4, kp=2, n_key=6, ksp=3, "
+        "rebuild_threshold=0.1, compact_threshold=0.1)"
+    )
+
+    def test_stats_report_maintenance_state(self, serve):
+        index, _, _ = _build("exact")
+        client = serve(ServingRuntime(index))
+        code, stats = client.get("/stats")
+        assert code == 200 and stats["maintenance"] == {"enabled": False}
+
+        dyn_index, _, _ = _build("dynamic")
+        runtime = ServingRuntime(dyn_index)
+        client = serve(runtime)
+        assert runtime.maintenance is not None
+        code, health = client.get("/healthz")
+        assert code == 200 and health["maintenance"] is True
+        code, stats = client.get("/stats")
+        maint = stats["maintenance"]
+        assert maint["enabled"] is True and maint["running"] is True
+        assert maint["targets"] == 1 and maint["rebuilds"] == 0
+
+    def test_background_compaction_under_serving(self, serve):
+        gen = np.random.default_rng(21)
+        data = gen.standard_normal((80, DIM))
+        index = build_index(self.MAINT_SPEC, data, rng=5)
+        runtime = ServingRuntime(index, max_wait_ms=1.0, maintenance_poll_ms=1.0)
+        client = serve(runtime)
+        q = data[0].tolist()
+        code, cold = client.post("/search", {"query": q, "k": 20})
+        assert code == 200 and cold["cached"] is False
+        code, warm = client.post("/search", {"query": q, "k": 20})
+        assert code == 200 and warm["cached"] is True
+
+        doomed = cold["ids"][:12]  # 12 > 0.1 * 80 -> compaction due
+        for point_id in doomed:
+            code, _ = client.post("/delete", {"id": point_id})
+            assert code == 200
+        assert runtime.maintenance.quiesce(timeout=30.0)
+
+        maint = client.get("/stats")[1]["maintenance"]
+        assert maint["rebuilds"] >= 1
+        assert maint["reclaimed_bytes"] > 0
+        assert maint["in_flight"] is None
+        # Quiesced means the pressure is back under the configured ratio —
+        # tombstones that landed after the compaction fired may remain.
+        assert index.maintenance_due() is None
+        assert index.tombstone_count <= 0.1 * index.indexed_points
+
+        # The cache generation moved (mutations + swap): a fresh answer,
+        # and none of the deleted ids in it.
+        code, after = client.post("/search", {"query": q, "k": 20})
+        assert code == 200 and after["cached"] is False
+        assert not set(after["ids"]) & set(doomed)
+        code, rewarm = client.post("/search", {"query": q, "k": 20})
+        assert code == 200 and rewarm["cached"] is True
+        assert rewarm["ids"] == after["ids"]
+
+    def test_sharded_dynamic_maintenance_staggers_per_shard(self, serve):
+        gen = np.random.default_rng(22)
+        data = gen.standard_normal((90, DIM))
+        spec = (
+            "sharded(inner='dynamic(c=0.85, m=4, kp=2, n_key=6, ksp=3, "
+            "rebuild_threshold=0.1)', shards=3)"
+        )
+        index = build_index(spec, data, rng=5)
+        runtime = ServingRuntime(index, max_wait_ms=1.0, maintenance_poll_ms=1.0)
+        client = serve(runtime)
+        assert runtime.maintenance is not None
+        assert runtime.maintenance.stats()["targets"] == 3
+        inserted = []
+        for vec in gen.standard_normal((30, DIM)):
+            code, payload = client.post("/insert", {"vector": vec.tolist()})
+            assert code == 200
+            inserted.append(payload["id"])
+        assert runtime.maintenance.quiesce(timeout=30.0)
+        assert all(
+            shard.maintenance_due() is None for shard in index.shards
+        )
+        code, served = client.post(
+            "/search", {"query": data[1].tolist(), "k": 5}
+        )
+        assert code == 200 and len(served["ids"]) == 5
+
+    def test_failed_runtime_construction_leaks_no_engine(self):
+        # An invalid coalescer config must not leave a live maintenance
+        # thread (or a deferred index) behind an unconstructed runtime.
+        index, _, _ = _build("dynamic")
+        with pytest.raises(ValueError, match="max_batch"):
+            ServingRuntime(index, max_batch=0)
+        assert index.defer_maintenance is False
+        assert not any(
+            t.name == "repro-maintenance" for t in threading.enumerate()
+        )
+
+    def test_maintenance_disabled_falls_back_to_synchronous(self, serve):
+        gen = np.random.default_rng(23)
+        data = gen.standard_normal((60, DIM))
+        index = build_index(self.MAINT_SPEC, data, rng=5)
+        runtime = ServingRuntime(index, maintenance=False)
+        client = serve(runtime)
+        assert runtime.maintenance is None
+        assert index.defer_maintenance is False
+        for point_id in range(8):  # 8 > 0.1 * 60: compacts inside /delete
+            code, _ = client.post("/delete", {"id": point_id})
+            assert code == 200
+        assert index.rebuilds >= 1
+        assert index.tombstone_count <= 0.1 * index.indexed_points
+        code, served = client.post(
+            "/search", {"query": data[20].tolist(), "k": 10}
+        )
+        assert code == 200
+        assert not set(served["ids"]) & set(range(8))
+
+
 class TestInspectionEndpoints:
     def test_healthz(self, serve):
         index, _, _ = _build("promips")
